@@ -1,0 +1,91 @@
+// Ax25cat builds AX.25 frames from flags and prints their wire form —
+// raw, KISS-framed, or with the FCS appended — and can decode hex back
+// into a frame. Handy for feeding kissdump, tests, and real TNCs.
+//
+// Usage:
+//
+//	ax25cat -dst KD7NM -src N7AKR-2 -via RELAY,WIDE -pid f0 -info "hello"
+//	ax25cat -kiss -dst QST -src N7AKR -info "cq cq"
+//	ax25cat -decode '96886e...'
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"packetradio/internal/ax25"
+	"packetradio/internal/kiss"
+)
+
+func main() {
+	dst := flag.String("dst", "QST", "destination callsign")
+	src := flag.String("src", "N0CALL", "source callsign")
+	via := flag.String("via", "", "comma-separated digipeater path")
+	pid := flag.String("pid", "f0", "protocol id (hex): cc=IP cd=ARP cf=NET/ROM f0=none")
+	info := flag.String("info", "", "information field (text)")
+	withFCS := flag.Bool("fcs", false, "append the CRC16-CCITT FCS")
+	asKISS := flag.Bool("kiss", false, "wrap in KISS framing (implies TNC computes FCS)")
+	decode := flag.String("decode", "", "decode a hex frame instead of encoding")
+	flag.Parse()
+
+	if *decode != "" {
+		raw, err := hex.DecodeString(strings.NewReplacer(" ", "", ":", "").Replace(*decode))
+		if err != nil {
+			fatal(err)
+		}
+		f, err := ax25.Decode(raw)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(f)
+		if len(f.Info) > 0 {
+			fmt.Printf("info: %q\n", f.Info)
+		}
+		return
+	}
+
+	d, err := ax25.NewAddr(*dst)
+	if err != nil {
+		fatal(err)
+	}
+	s, err := ax25.NewAddr(*src)
+	if err != nil {
+		fatal(err)
+	}
+	pidVal, err := strconv.ParseUint(*pid, 16, 8)
+	if err != nil {
+		fatal(fmt.Errorf("bad pid: %w", err))
+	}
+	f := ax25.NewUI(d, s, uint8(pidVal), []byte(*info))
+	if *via != "" {
+		var digis []ax25.Addr
+		for _, v := range strings.Split(*via, ",") {
+			a, err := ax25.NewAddr(strings.TrimSpace(v))
+			if err != nil {
+				fatal(err)
+			}
+			digis = append(digis, a)
+		}
+		f = f.Via(digis...)
+	}
+	enc, err := f.Encode(nil)
+	if err != nil {
+		fatal(err)
+	}
+	switch {
+	case *asKISS:
+		enc = kiss.Encode(nil, 0, enc)
+	case *withFCS:
+		enc = ax25.AppendFCS(enc)
+	}
+	fmt.Printf("%s\n%s\n", f, hex.EncodeToString(enc))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ax25cat:", err)
+	os.Exit(1)
+}

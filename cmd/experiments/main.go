@@ -1,0 +1,65 @@
+// Experiments regenerates the paper's evaluation — both figures and
+// every quantified claim (see DESIGN.md §4 for the index and
+// EXPERIMENTS.md for expected-vs-measured). Runs the full suite in a
+// few seconds of wall clock; everything is deterministic.
+//
+// Usage:
+//
+//	experiments            # all of F1 F2 E1..E10
+//	experiments -only E2   # a single experiment
+//	experiments -list      # show the index
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"packetradio/internal/experiments"
+)
+
+var index = []struct {
+	id    string
+	claim string
+	run   func(io.Writer) *experiments.Result
+}{
+	{"F1", "Figure 1: hardware path latency decomposition", experiments.F1},
+	{"F2", "Figure 2: ISO/OSI layering and per-layer overhead", experiments.F2},
+	{"E1", "§3: transmission time dominates at 1200 bps", experiments.E1},
+	{"E2", "§3: gateway slowdown under load; TNC filter ablation", experiments.E2},
+	{"E3", "§4.1: fixed vs adaptive retransmission timeouts", experiments.E3},
+	{"E4", "§4.2: single class-A route vs regional gateways", experiments.E4},
+	{"E5", "§4.3: access-control table life cycle", experiments.E5},
+	{"E6", "§1: source-routed digipeating, 0-8 hops", experiments.E6},
+	{"E7", "§2.3: ARP over AX.25, cold vs warm", experiments.E7},
+	{"E8", "§2.4: IP over the NET/ROM backbone", experiments.E8},
+	{"E9", "§2.3/§5: telnet, FTP, SMTP across the gateway", experiments.E9},
+	{"E10", "substrate: CSMA channel capacity", experiments.E10},
+}
+
+func main() {
+	only := flag.String("only", "", "run a single experiment (e.g. E3)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range index {
+			fmt.Printf("%-4s %s\n", e.id, e.claim)
+		}
+		return
+	}
+	ran := 0
+	for _, e := range index {
+		if *only != "" && !strings.EqualFold(*only, e.id) {
+			continue
+		}
+		e.run(os.Stdout)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (use -list)\n", *only)
+		os.Exit(1)
+	}
+}

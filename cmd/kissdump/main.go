@@ -1,0 +1,98 @@
+// Kissdump decodes a KISS byte stream (hex on stdin, or -x "c0 00 ..")
+// into AX.25 frames, printing one monitor-style line per frame — the
+// offline equivalent of watching the paper's serial line.
+//
+// Usage:
+//
+//	echo 'c0 00 96 88 6e 9c 9a 40 e0 ... c0' | kissdump
+//	kissdump -x 'c000...c0'
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"packetradio/internal/ax25"
+	"packetradio/internal/kiss"
+)
+
+func main() {
+	hexArg := flag.String("x", "", "hex KISS stream (otherwise read from stdin)")
+	flag.Parse()
+
+	var hexText string
+	if *hexArg != "" {
+		hexText = *hexArg
+	} else {
+		var sb strings.Builder
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			sb.WriteString(sc.Text())
+			sb.WriteByte(' ')
+		}
+		hexText = sb.String()
+	}
+	raw, err := parseHex(hexText)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kissdump:", err)
+		os.Exit(1)
+	}
+
+	n := 0
+	d := kiss.Decoder{Frame: func(f kiss.Frame) {
+		n++
+		if f.Command != kiss.CmdData {
+			fmt.Printf("%3d: %v\n", n, f)
+			return
+		}
+		fr, err := ax25.Decode(f.Payload)
+		if err != nil {
+			fmt.Printf("%3d: undecodable AX.25 (%v): % x\n", n, err, f.Payload)
+			return
+		}
+		fmt.Printf("%3d: %v\n", n, fr)
+		if len(fr.Info) > 0 {
+			fmt.Printf("     info: % x\n", fr.Info)
+		}
+	}}
+	for _, b := range raw {
+		d.PutByte(b)
+	}
+	if n == 0 {
+		fmt.Fprintln(os.Stderr, "kissdump: no complete frames in input")
+		os.Exit(1)
+	}
+}
+
+func parseHex(s string) ([]byte, error) {
+	var out []byte
+	cur := -1
+	for _, r := range s {
+		var v int
+		switch {
+		case r >= '0' && r <= '9':
+			v = int(r - '0')
+		case r >= 'a' && r <= 'f':
+			v = int(r-'a') + 10
+		case r >= 'A' && r <= 'F':
+			v = int(r-'A') + 10
+		case r == ' ' || r == '\t' || r == '\n' || r == ',' || r == ':':
+			continue
+		default:
+			return nil, fmt.Errorf("bad hex character %q", r)
+		}
+		if cur < 0 {
+			cur = v
+		} else {
+			out = append(out, byte(cur<<4|v))
+			cur = -1
+		}
+	}
+	if cur >= 0 {
+		return nil, fmt.Errorf("odd number of hex digits")
+	}
+	return out, nil
+}

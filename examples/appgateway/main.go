@@ -1,0 +1,66 @@
+// Appgateway demonstrates §2.4: a terminal user with a plain AX.25
+// TNC — no IP software anywhere — reaches Internet services through
+// the gateway's user-space application gateway. The user connects to
+// the gateway's callsign, bridges to telnet, then sends electronic
+// mail that gets relayed over SMTP.
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"packetradio"
+)
+
+func main() {
+	s := packetradio.NewSeattle(packetradio.SeattleConfig{Seed: 7, NumPCs: 1})
+
+	// The §2.4 user program on the gateway host.
+	gwTCP := packetradio.NewTCP(s.Gateway.Stack)
+	gw := packetradio.NewAppGateway(s.W.Sched, s.Gateway.Radio("pr0").Driver, gwTCP)
+	gw.Hosts["june"] = packetradio.InternetIP
+	gw.MailRelay = packetradio.InternetIP
+
+	// Internet services.
+	inetTCP := packetradio.NewTCP(s.Internet.Stack)
+	packetradio.ServeTelnet(inetTCP, &packetradio.TelnetServer{Hostname: "june"})
+	mail := &packetradio.SMTPServer{Hostname: "june"}
+	packetradio.ServeSMTP(inetTCP, mail)
+
+	// A 1980 terminal: dumb tty -> native-firmware TNC -> radio.
+	hostEnd, tncEnd := packetradio.NewSerialLine(s.W.Sched, 9600)
+	rf := s.Channel.Attach("W1GOH", packetradio.DefaultRadioParams())
+	packetradio.NewNativeTNC(s.W.Sched, tncEnd, rf, packetradio.MustCall("W1GOH"))
+	var screen strings.Builder
+	hostEnd.SetReceiver(func(b byte) { screen.WriteByte(b) })
+	typeLine := func(l string) {
+		hostEnd.Write([]byte(l + "\r"))
+		s.W.Run(90 * time.Second)
+	}
+
+	typeLine("CONNECT N7AKR") // the gateway's callsign
+	typeLine("TELNET june")
+	typeLine("echo no IP on this side at all")
+	typeLine("logout")
+	s.W.Run(2 * time.Minute)
+	typeLine("MAIL w1goh bcn@june")
+	typeLine("The quick brown fox jumps over the 1200 baud link.")
+	typeLine(".")
+	s.W.Run(3 * time.Minute)
+	typeLine("BYE")
+
+	fmt.Println("=== what the terminal user saw ===")
+	for _, line := range strings.Split(screen.String(), "\r") {
+		if strings.TrimSpace(line) != "" {
+			fmt.Println(" ", strings.TrimRight(line, "\n"))
+		}
+	}
+	fmt.Printf("=== mailbox on june: %d message(s) ===\n", len(mail.Mailboxes["bcn"]))
+	for _, m := range mail.Mailboxes["bcn"] {
+		fmt.Printf("  From %s\n", m.From)
+		for _, l := range strings.Split(strings.TrimSpace(m.Body), "\n") {
+			fmt.Println("   |", l)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// Callbook demonstrates the distributed service the paper's §5
+// proposes: regional callbook servers queried by callsign prefix over
+// UDP, with the two applications the paper imagines on top — rotating
+// the antenna "automatically ... to the correct bearing" and printing
+// "a mailing label for the QSL card".
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"packetradio"
+	"packetradio/internal/callbook"
+)
+
+func main() {
+	// Radio PC + gateway + two regional servers on the Internet side.
+	s := packetradio.NewSeattle(packetradio.SeattleConfig{Seed: 73, NumPCs: 1})
+	w := s.W
+
+	west := s.Internet // 128.95.1.2 doubles as the west-coast server
+	eastHost := w.Host("mit-callbook")
+	eastHost.AttachEther(s.Ether, "qe0", packetradio.MustIP("128.95.1.40"), packetradio.IPMask{255, 255, 0, 0})
+	// The §4.2 lesson in miniature: every Internet host needs a route
+	// for class-A net 44 pointing at the packet radio gateway.
+	eastHost.Stack.Routes.AddNet(packetradio.MustIP("44.0.0.0"), packetradio.IPMask{255, 0, 0, 0},
+		packetradio.GatewayEtherIP, "qe0")
+
+	westSrv := &callbook.Server{Region: "west"}
+	westSrv.Add(callbook.Record{Call: "N7AKR", Name: "Bob Albrightson", Address: "Dept. of CS, FR-35", City: "Seattle WA", Lat: 47.65, Lon: -122.31})
+	westSrv.Add(callbook.Record{Call: "K3MC", Name: "Mike Chepponis", Address: "KISS HQ", City: "Pittsburgh PA", Lat: 40.44, Lon: -79.99})
+	callbook.Serve(packetradio.NewUDP(west.Stack), westSrv)
+
+	eastSrv := &callbook.Server{Region: "east"}
+	eastSrv.Add(callbook.Record{Call: "W1GOH", Name: "Steve Ward", Address: "545 Technology Sq", City: "Cambridge MA", Lat: 42.36, Lon: -71.09})
+	callbook.Serve(packetradio.NewUDP(eastHost.Stack), eastSrv)
+
+	// The PC's resolver, out on the radio channel.
+	res, err := callbook.NewResolver(packetradio.NewUDP(s.PCs[0].Stack))
+	if err != nil {
+		panic(err)
+	}
+	res.MyLat, res.MyLon = 47.65, -122.31 // Seattle
+	res.Regions["W1"] = packetradio.MustIP("128.95.1.40")
+	res.Regions["N7"] = packetradio.InternetIP
+	res.Regions["K3"] = packetradio.InternetIP
+
+	lookup := func(call string) {
+		res.Lookup(call, func(rec *callbook.Record, found bool) {
+			if !found {
+				fmt.Printf("  %s: not found\n", call)
+				return
+			}
+			fmt.Printf("  %s (t=%.0fs, via the gateway):\n", call, w.Sched.Now().Seconds())
+			fmt.Printf("    rotate antenna to %.0f° true\n", res.Bearing(rec))
+			fmt.Println("    QSL label:")
+			for _, l := range splitLines(callbook.QSLLabel(rec)) {
+				fmt.Println("      |", l)
+			}
+		})
+		w.Run(2 * time.Minute)
+	}
+
+	fmt.Println("== distributed callbook queries from the radio PC ==")
+	lookup("W1GOH") // east server
+	lookup("K3MC")  // west server
+	lookup("N7XYZ") // unknown call
+	fmt.Printf("== servers answered: west=%d east=%d queries ==\n",
+		westSrv.Stats.Queries, eastSrv.Stats.Queries)
+}
+
+func splitLines(s string) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == '\n' {
+			out = append(out, cur)
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+// Netrom-backbone demonstrates §2.4's future work: "using another
+// layer three protocol known as NET/ROM to pass IP traffic between
+// gateways ... in the same way Internet subnets are connected via the
+// ARPANET." Two radio subnets (Seattle and Tacoma) are joined by a
+// NET/ROM backbone; the nodes learn each other from NODES broadcasts,
+// and then plain IP flows end to end between PCs that share no channel.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"packetradio"
+)
+
+func main() {
+	w := packetradio.NewWorld(1988)
+	seattleCh := w.Channel("seattle-145.01", 0)
+	tacomaCh := w.Channel("tacoma-145.03", 0)
+	backboneCh := w.Channel("backbone-223.60", 0)
+
+	// Gateways: one leg on their local subnet, one on the backbone.
+	sea := w.Host("sea-gw")
+	sea.AttachRadio(seattleCh, "pr0", "N7AKR", packetradio.MustIP("44.24.0.28"),
+		packetradio.IPMask{255, 255, 0, 0}, packetradio.RadioConfig{})
+	sea.EnableForwarding()
+
+	tac := w.Host("tac-gw")
+	tac.AttachRadio(tacomaCh, "pr0", "KB7DZ", packetradio.MustIP("44.26.0.28"),
+		packetradio.IPMask{255, 255, 0, 0}, packetradio.RadioConfig{})
+	tac.EnableForwarding()
+
+	// NET/ROM nodes + IP tunnels on the backbone.
+	seaTun := w.NetROMBackbone(backboneCh, sea, "SEA", packetradio.MustIP("44.0.0.1"))
+	tacTun := w.NetROMBackbone(backboneCh, tac, "TAC", packetradio.MustIP("44.0.0.2"))
+	seaTun.AddPeer(packetradio.MustIP("44.0.0.2"), packetradio.MustCall("TAC"))
+	tacTun.AddPeer(packetradio.MustIP("44.0.0.1"), packetradio.MustCall("SEA"))
+	sea.Stack.Routes.AddNet(packetradio.MustIP("44.26.0.0"),
+		packetradio.IPMask{255, 255, 0, 0}, packetradio.MustIP("44.0.0.2"), "nr0")
+	tac.Stack.Routes.AddNet(packetradio.MustIP("44.24.0.0"),
+		packetradio.IPMask{255, 255, 0, 0}, packetradio.MustIP("44.0.0.1"), "nr0")
+
+	// One PC per subnet.
+	pcSea := w.Host("pc-sea")
+	pcSea.AttachRadio(seattleCh, "pr0", "WA6BEV", packetradio.MustIP("44.24.0.10"),
+		packetradio.IPMask{255, 255, 0, 0}, packetradio.RadioConfig{})
+	pcSea.Stack.Routes.AddDefault(packetradio.MustIP("44.24.0.28"), "pr0")
+
+	pcTac := w.Host("pc-tac")
+	pcTac.AttachRadio(tacomaCh, "pr0", "KD7NM", packetradio.MustIP("44.26.0.10"),
+		packetradio.IPMask{255, 255, 0, 0}, packetradio.RadioConfig{})
+	pcTac.Stack.Routes.AddDefault(packetradio.MustIP("44.26.0.28"), "pr0")
+
+	// Watch the routing tables converge from NODES broadcasts.
+	fmt.Println("== NODES broadcasts converging ==")
+	for i := 0; i < 10; i++ {
+		w.Run(30 * time.Second)
+		if seaTun.Node().HasRoute(packetradio.MustCall("TAC")) {
+			fmt.Printf("  t=%.0fs: SEA has learned TAC\n", w.Sched.Now().Seconds())
+			break
+		}
+		fmt.Printf("  t=%.0fs: waiting for broadcasts...\n", w.Sched.Now().Seconds())
+	}
+	w.Run(2 * time.Minute)
+
+	fmt.Println("== ping Seattle PC -> Tacoma PC (two subnets + backbone) ==")
+	for i := 0; i < 2; i++ {
+		n := i
+		pcSea.Stack.Ping(packetradio.MustIP("44.26.0.10"), 32,
+			func(_ uint16, rtt time.Duration, _ packetradio.IPAddr) {
+				fmt.Printf("  reply %d: %.1fs across four 1200 bps radio hops\n", n, rtt.Seconds())
+			})
+		w.Run(3 * time.Minute)
+	}
+	fmt.Printf("== SEA node forwarded %d datagrams over the backbone ==\n",
+		seaTun.Node().Stats.DatagramsSent)
+}

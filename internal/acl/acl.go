@@ -1,0 +1,187 @@
+// Package acl implements the paper's §4.3 access-control scheme for
+// the gateway:
+//
+//	"One way to solve this problem is to maintain a table of authorized
+//	addresses on the non-amateur side of the gateway. Associated with
+//	each of these addresses is a list of hosts on the amateur side of
+//	the gateway with which that host can communicate. Initially the
+//	table starts off empty. Whenever a packet is received on the
+//	amateur side destined for a non-amateur host, an entry is made in
+//	the table, enabling the non-amateur host to send packets in the
+//	other direction. After a certain period of time, these entries are
+//	removed if packets have not been received from the amateur side of
+//	the gateway."
+//
+// plus the two augmenting ICMP messages (add with TTL, forced remove)
+// with callsign+password authentication required from the non-amateur
+// side.
+package acl
+
+import (
+	"time"
+
+	"packetradio/internal/icmp"
+	"packetradio/internal/ip"
+	"packetradio/internal/sim"
+)
+
+// Stats counts table activity.
+type Stats struct {
+	AutoAdded    uint64 // entries created by amateur-originated traffic
+	Refreshed    uint64 // expiry pushed back by amateur traffic
+	Allowed      uint64 // inbound packets passed
+	Blocked      uint64 // inbound packets refused
+	Expired      uint64 // entries removed by idle timeout
+	ICMPAdds     uint64
+	ICMPDels     uint64
+	AuthFailures uint64
+}
+
+type pairKey struct {
+	nonAmateur ip.Addr
+	amateur    ip.Addr
+}
+
+// Table is the gateway authorization table.
+type Table struct {
+	// IdleTTL is how long an auto-created entry lives without fresh
+	// amateur-side traffic. The paper leaves the period open; 10
+	// minutes is our default.
+	IdleTTL time.Duration
+
+	// Operators maps control-operator callsigns to passwords for
+	// authenticating ICMP control messages from the non-amateur side.
+	Operators map[string]string
+
+	Stats Stats
+
+	sched   *sim.Scheduler
+	entries map[pairKey]sim.Time // expiry instant
+	sweep   *sim.Event
+}
+
+// New builds an empty table.
+func New(sched *sim.Scheduler) *Table {
+	return &Table{
+		IdleTTL:   10 * time.Minute,
+		Operators: make(map[string]string),
+		sched:     sched,
+		entries:   make(map[pairKey]sim.Time),
+	}
+}
+
+// Len reports live entries (expired ones are purged lazily).
+func (t *Table) Len() int {
+	now := t.sched.Now()
+	n := 0
+	for _, exp := range t.entries {
+		if exp > now {
+			n++
+		}
+	}
+	return n
+}
+
+// NoteOutbound records amateur→non-amateur traffic, creating or
+// refreshing the authorization for the reverse direction.
+func (t *Table) NoteOutbound(amateur, nonAmateur ip.Addr) {
+	k := pairKey{nonAmateur, amateur}
+	exp := t.sched.Now().Add(t.IdleTTL)
+	if old, ok := t.entries[k]; ok && old > t.sched.Now() {
+		t.Stats.Refreshed++
+	} else {
+		t.Stats.AutoAdded++
+	}
+	t.entries[k] = exp
+	t.scheduleSweep()
+}
+
+// Allowed reports whether nonAmateur may currently send to amateur,
+// counting the decision.
+func (t *Table) Allowed(nonAmateur, amateur ip.Addr) bool {
+	k := pairKey{nonAmateur, amateur}
+	exp, ok := t.entries[k]
+	if !ok || t.sched.Now() >= exp {
+		if ok {
+			delete(t.entries, k)
+			t.Stats.Expired++
+		}
+		t.Stats.Blocked++
+		return false
+	}
+	t.Stats.Allowed++
+	return true
+}
+
+// Add installs an authorization explicitly (the ICMP add message) for
+// ttl; zero ttl uses IdleTTL.
+func (t *Table) Add(nonAmateur, amateur ip.Addr, ttl time.Duration) {
+	if ttl <= 0 {
+		ttl = t.IdleTTL
+	}
+	t.entries[pairKey{nonAmateur, amateur}] = t.sched.Now().Add(ttl)
+	t.scheduleSweep()
+}
+
+// Remove deletes an authorization (the control-operator cutoff),
+// reporting whether it existed.
+func (t *Table) Remove(nonAmateur, amateur ip.Addr) bool {
+	k := pairKey{nonAmateur, amateur}
+	_, ok := t.entries[k]
+	delete(t.entries, k)
+	return ok
+}
+
+// scheduleSweep keeps exactly one pending sweep event while entries
+// exist, so idle tables leave the event queue empty.
+func (t *Table) scheduleSweep() {
+	if t.sweep != nil && !t.sweep.Cancelled() {
+		return
+	}
+	if len(t.entries) == 0 {
+		return
+	}
+	t.sweep = t.sched.After(t.IdleTTL, func() {
+		now := t.sched.Now()
+		for k, exp := range t.entries {
+			if now >= exp {
+				delete(t.entries, k)
+				t.Stats.Expired++
+			}
+		}
+		t.sweep = nil
+		t.scheduleSweep()
+	})
+}
+
+// HandleICMP processes a gateway authorization message. fromAmateur
+// says which side of the gateway the datagram arrived on; messages
+// from the non-amateur side must authenticate with a configured
+// control operator's callsign and password. Returns true if the
+// message was consumed (it was an auth type).
+func (t *Table) HandleICMP(m *icmp.Message, fromAmateur bool) bool {
+	if m.Type != icmp.TypeGatewayAuthAdd && m.Type != icmp.TypeGatewayAuthDel {
+		return false
+	}
+	p, err := icmp.UnmarshalAuth(m.Body)
+	if err != nil {
+		t.Stats.AuthFailures++
+		return true
+	}
+	if !fromAmateur {
+		want, ok := t.Operators[p.Callsign]
+		if !ok || want != p.Password {
+			t.Stats.AuthFailures++
+			return true
+		}
+	}
+	switch m.Type {
+	case icmp.TypeGatewayAuthAdd:
+		t.Stats.ICMPAdds++
+		t.Add(p.NonAmateur, p.Amateur, time.Duration(p.TTLSeconds)*time.Second)
+	case icmp.TypeGatewayAuthDel:
+		t.Stats.ICMPDels++
+		t.Remove(p.NonAmateur, p.Amateur)
+	}
+	return true
+}

@@ -1,0 +1,184 @@
+package acl
+
+import (
+	"testing"
+	"time"
+
+	"packetradio/internal/icmp"
+	"packetradio/internal/ip"
+	"packetradio/internal/sim"
+)
+
+var (
+	pc   = ip.MustAddr("44.24.0.10")
+	inet = ip.MustAddr("128.95.1.2")
+)
+
+func TestStartsEmptyAndBlocks(t *testing.T) {
+	s := sim.NewScheduler(1)
+	tb := New(s)
+	if tb.Len() != 0 {
+		t.Fatal("table not empty")
+	}
+	if tb.Allowed(inet, pc) {
+		t.Fatal("empty table allowed traffic")
+	}
+	if tb.Stats.Blocked != 1 {
+		t.Fatalf("stats: %+v", tb.Stats)
+	}
+}
+
+func TestOutboundOpensReverse(t *testing.T) {
+	s := sim.NewScheduler(1)
+	tb := New(s)
+	tb.NoteOutbound(pc, inet)
+	if !tb.Allowed(inet, pc) {
+		t.Fatal("reverse path blocked after outbound")
+	}
+	// Pairing is exact: a different amateur host is still blocked.
+	if tb.Allowed(inet, ip.MustAddr("44.24.0.11")) {
+		t.Fatal("unrelated amateur host allowed")
+	}
+	// And a different Internet host cannot use the entry.
+	if tb.Allowed(ip.MustAddr("128.95.1.3"), pc) {
+		t.Fatal("unrelated internet host allowed")
+	}
+}
+
+func TestIdleExpiry(t *testing.T) {
+	s := sim.NewScheduler(1)
+	tb := New(s)
+	tb.IdleTTL = time.Minute
+	tb.NoteOutbound(pc, inet)
+	s.RunFor(30 * time.Second)
+	if !tb.Allowed(inet, pc) {
+		t.Fatal("expired too early")
+	}
+	s.RunFor(2 * time.Minute)
+	if tb.Allowed(inet, pc) {
+		t.Fatal("entry survived idle TTL")
+	}
+	if tb.Stats.Expired == 0 {
+		t.Fatal("no expiry recorded")
+	}
+}
+
+func TestRefreshExtendsLifetime(t *testing.T) {
+	s := sim.NewScheduler(1)
+	tb := New(s)
+	tb.IdleTTL = time.Minute
+	tb.NoteOutbound(pc, inet)
+	s.RunFor(45 * time.Second)
+	tb.NoteOutbound(pc, inet) // refresh
+	s.RunFor(45 * time.Second)
+	if !tb.Allowed(inet, pc) {
+		t.Fatal("refresh did not extend lifetime")
+	}
+	if tb.Stats.Refreshed != 1 || tb.Stats.AutoAdded != 1 {
+		t.Fatalf("stats: %+v", tb.Stats)
+	}
+}
+
+func TestSweepCleansWithoutQueries(t *testing.T) {
+	s := sim.NewScheduler(1)
+	tb := New(s)
+	tb.IdleTTL = time.Minute
+	tb.NoteOutbound(pc, inet)
+	s.RunFor(10 * time.Minute) // sweep timer does the work
+	if tb.Len() != 0 {
+		t.Fatal("sweep left stale entries")
+	}
+	if s.Pending() != 0 {
+		t.Fatal("sweep timer leaked into empty table")
+	}
+}
+
+func TestICMPAddFromAmateurSideNoAuth(t *testing.T) {
+	s := sim.NewScheduler(1)
+	tb := New(s)
+	m := icmp.NewAuthAdd(&icmp.AuthPayload{TTLSeconds: 120, Amateur: pc, NonAmateur: inet})
+	if !tb.HandleICMP(m, true) {
+		t.Fatal("auth message not consumed")
+	}
+	if !tb.Allowed(inet, pc) {
+		t.Fatal("add not honored")
+	}
+}
+
+func TestICMPAddFromInternetRequiresPassword(t *testing.T) {
+	s := sim.NewScheduler(1)
+	tb := New(s)
+	tb.Operators["N7AKR"] = "secret"
+	bad := icmp.NewAuthAdd(&icmp.AuthPayload{TTLSeconds: 120, Amateur: pc, NonAmateur: inet, Callsign: "N7AKR", Password: "nope"})
+	tb.HandleICMP(bad, false)
+	if tb.Allowed(inet, pc) {
+		t.Fatal("bad password accepted")
+	}
+	if tb.Stats.AuthFailures != 1 {
+		t.Fatalf("stats: %+v", tb.Stats)
+	}
+	unknown := icmp.NewAuthAdd(&icmp.AuthPayload{TTLSeconds: 120, Amateur: pc, NonAmateur: inet, Callsign: "KC0XXX", Password: "x"})
+	tb.HandleICMP(unknown, false)
+	if tb.Stats.AuthFailures != 2 {
+		t.Fatal("unknown operator accepted")
+	}
+	good := icmp.NewAuthAdd(&icmp.AuthPayload{TTLSeconds: 120, Amateur: pc, NonAmateur: inet, Callsign: "N7AKR", Password: "secret"})
+	tb.HandleICMP(good, false)
+	if !tb.Allowed(inet, pc) {
+		t.Fatal("good credentials refused")
+	}
+}
+
+func TestICMPDelRemoves(t *testing.T) {
+	s := sim.NewScheduler(1)
+	tb := New(s)
+	tb.NoteOutbound(pc, inet)
+	m := icmp.NewAuthDel(&icmp.AuthPayload{Amateur: pc, NonAmateur: inet})
+	tb.HandleICMP(m, true)
+	if tb.Allowed(inet, pc) {
+		t.Fatal("del not honored")
+	}
+	if tb.Stats.ICMPDels != 1 {
+		t.Fatalf("stats: %+v", tb.Stats)
+	}
+}
+
+func TestNonAuthICMPNotConsumed(t *testing.T) {
+	s := sim.NewScheduler(1)
+	tb := New(s)
+	if tb.HandleICMP(icmp.NewEcho(1, 1, nil), true) {
+		t.Fatal("echo consumed by ACL")
+	}
+}
+
+func TestMalformedAuthCounted(t *testing.T) {
+	s := sim.NewScheduler(1)
+	tb := New(s)
+	m := &icmp.Message{Type: icmp.TypeGatewayAuthAdd, Body: []byte{1, 2}}
+	if !tb.HandleICMP(m, true) {
+		t.Fatal("malformed auth not consumed")
+	}
+	if tb.Stats.AuthFailures != 1 {
+		t.Fatalf("stats: %+v", tb.Stats)
+	}
+}
+
+func TestExplicitAddWithTTL(t *testing.T) {
+	s := sim.NewScheduler(1)
+	tb := New(s)
+	tb.Add(inet, pc, 10*time.Second)
+	s.RunFor(5 * time.Second)
+	if !tb.Allowed(inet, pc) {
+		t.Fatal("explicit add not honored")
+	}
+	s.RunFor(10 * time.Second)
+	if tb.Allowed(inet, pc) {
+		t.Fatal("explicit TTL not honored")
+	}
+	if !func() bool { tb.Add(inet, pc, 0); return tb.Allowed(inet, pc) }() {
+		t.Fatal("zero TTL should use IdleTTL")
+	}
+	if tb.Remove(inet, pc) != true || tb.Remove(inet, pc) != false {
+		t.Fatal("Remove semantics")
+	}
+}

@@ -1,0 +1,252 @@
+// Package appgw implements the paper's §2.4 application-layer gateway:
+//
+//	"In addition to providing a gateway between the packet radio
+//	network and the rest of the Internet, we would like our gateway to
+//	be able to serve as a gateway between applications running on top
+//	of other protocols. Such a gateway would be at the application
+//	layer, and specific to remote login and electronic mail. The way
+//	AX.25 was implemented in the kernel, such applications do not
+//	require kernel support ... Packets that are received from the TNC
+//	that are not of type IP can be placed on the input queue for the
+//	appropriate tty line. A user program can then read from this line,
+//	and maintain the state required to keep track of AX.25 level
+//	connections. Data can then be passed to a pseudo terminal to
+//	support remote login, and to a separate program to support
+//	electronic mail."
+//
+// Gateway is exactly that user program: it reads non-IP frames off the
+// driver's tty queue, terminates AX.25 connected-mode sessions, and
+// bridges them to TCP telnet sessions (remote login) and to SMTP
+// submission (electronic mail). Radio users who only have plain-AX.25
+// TNCs — no IP stack at all — thereby reach IP services, which was the
+// paper's stated goal for non-IP users.
+package appgw
+
+import (
+	"fmt"
+	"strings"
+
+	"packetradio/internal/ax25"
+	"packetradio/internal/core"
+	"packetradio/internal/ip"
+	"packetradio/internal/sim"
+	"packetradio/internal/smtp"
+	"packetradio/internal/tcp"
+	"packetradio/internal/telnet"
+)
+
+// Stats counts gateway activity.
+type Stats struct {
+	Sessions      uint64
+	TelnetBridges uint64
+	MailsRelayed  uint64
+	MailFailures  uint64
+}
+
+// Gateway is the user-space application gateway process.
+type Gateway struct {
+	// Hosts maps names radio users may type to Internet addresses.
+	Hosts map[string]ip.Addr
+	// MailRelay is the SMTP server receiving relayed mail.
+	MailRelay ip.Addr
+
+	Stats Stats
+
+	sched *sim.Scheduler
+	drv   *core.PacketRadioIf
+	tp    *tcp.Proto
+	ep    *ax25.Endpoint
+}
+
+// New wires the gateway to the packet-radio driver's tty queue and the
+// host's TCP layer.
+func New(sched *sim.Scheduler, drv *core.PacketRadioIf, tp *tcp.Proto) *Gateway {
+	g := &Gateway{
+		Hosts: make(map[string]ip.Addr),
+		sched: sched,
+		drv:   drv,
+		tp:    tp,
+	}
+	g.ep = ax25.NewEndpoint(sched, drv.MyCall, func(f *ax25.Frame) { drv.SendFrame(f) })
+	g.ep.Accept = g.accept
+	drv.TTYHandler = g.ttyInput
+	return g
+}
+
+// ttyInput receives the driver's non-IP layer-3 frames.
+func (g *Gateway) ttyInput(f *ax25.Frame) {
+	if f.Kind == ax25.KindUI {
+		return // connectionless chatter is not ours
+	}
+	g.ep.Input(f)
+}
+
+type session struct {
+	gw   *Gateway
+	conn *ax25.Conn
+	line []byte
+
+	// Bridge state.
+	tconn *tcp.Conn // live telnet bridge, nil otherwise
+
+	// Mail composition state.
+	mailFrom, mailTo string
+	mailBody         strings.Builder
+	inMail           bool
+}
+
+func (g *Gateway) accept(c *ax25.Conn) bool {
+	g.Stats.Sessions++
+	s := &session{gw: g, conn: c}
+	c.OnData = s.input
+	c.OnState = func(st ax25.ConnState) {
+		if st == ax25.StateConnected {
+			s.printf("UW Packet/Internet Gateway.\r")
+			s.printf("Commands: TELNET <host>, MAIL <from> <to>, BYE\r")
+		}
+		if st == ax25.StateDisconnected {
+			if s.tconn != nil {
+				s.tconn.Close()
+				s.tconn = nil
+			}
+			g.ep.Remove(c.Remote)
+		}
+	}
+	return true
+}
+
+func (s *session) printf(format string, args ...any) {
+	s.conn.Send([]byte(fmt.Sprintf(format, args...)))
+}
+
+func (s *session) input(p []byte) {
+	// While bridged, bytes pass straight through to the TCP side.
+	if s.tconn != nil {
+		s.tconn.Send(bytesCRLF(p))
+		return
+	}
+	for _, b := range p {
+		if b == '\r' || b == '\n' {
+			if len(s.line) > 0 {
+				line := string(s.line)
+				s.line = s.line[:0]
+				s.command(line)
+			}
+			continue
+		}
+		s.line = append(s.line, b)
+	}
+}
+
+// bytesCRLF converts radio-style CR line endings to CRLF for TCP
+// services (the pseudo-terminal translation the paper alludes to).
+func bytesCRLF(p []byte) []byte {
+	out := make([]byte, 0, len(p)+4)
+	for _, b := range p {
+		if b == '\r' {
+			out = append(out, '\r', '\n')
+			continue
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+func (s *session) command(line string) {
+	if s.inMail {
+		if line == "." {
+			s.inMail = false
+			s.sendMail()
+			return
+		}
+		s.mailBody.WriteString(line)
+		s.mailBody.WriteString("\n")
+		return
+	}
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return
+	}
+	switch strings.ToUpper(fields[0]) {
+	case "TELNET", "T":
+		if len(fields) < 2 {
+			s.printf("usage: TELNET <host>\r")
+			return
+		}
+		s.bridge(fields[1])
+	case "MAIL", "M":
+		if len(fields) < 3 {
+			s.printf("usage: MAIL <from> <to>\r")
+			return
+		}
+		s.mailFrom, s.mailTo = fields[1], fields[2]
+		s.mailBody.Reset()
+		s.inMail = true
+		s.printf("Enter message, end with '.' alone\r")
+	case "BYE", "B":
+		s.printf("73!\r")
+		s.conn.Disconnect()
+	default:
+		s.printf("?Unknown command %s\r", fields[0])
+	}
+}
+
+// bridge opens the pseudo-terminal remote login path.
+func (s *session) bridge(host string) {
+	addr, ok := s.gw.Hosts[strings.ToLower(host)]
+	if !ok {
+		var err error
+		addr, err = ip.ParseAddr(host)
+		if err != nil {
+			s.printf("?Unknown host %s\r", host)
+			return
+		}
+	}
+	s.gw.Stats.TelnetBridges++
+	s.printf("Trying %s...\r", addr)
+	t := s.gw.tp.Dial(addr, telnet.Port)
+	s.tconn = t
+	t.OnData = func(p []byte) {
+		// TCP -> radio: strip LFs; radio terminals want bare CR.
+		out := make([]byte, 0, len(p))
+		for _, b := range p {
+			if b != '\n' {
+				out = append(out, b)
+			}
+		}
+		if len(out) > 0 {
+			s.conn.Send(out)
+		}
+	}
+	t.OnConnect = func() { s.printf("Connected.\r") }
+	t.OnClose = func(err error) {
+		if s.tconn == t {
+			s.tconn = nil
+			if err != nil {
+				s.printf("Connection failed: %v\r", err)
+			} else {
+				s.printf("Connection closed.\r")
+			}
+		}
+	}
+	t.OnPeerClose = func() { t.Close() }
+}
+
+// sendMail relays the composed message over SMTP.
+func (s *session) sendMail() {
+	msg := smtp.Message{
+		From: s.mailFrom,
+		To:   s.mailTo,
+		Body: fmt.Sprintf("Received: from %s by %s (AX.25 application gateway)\n%s",
+			s.conn.Remote, s.conn.Local, s.mailBody.String()),
+	}
+	smtp.Send(s.gw.tp, s.gw.MailRelay, msg, func(r smtp.Result) {
+		if r.OK {
+			s.gw.Stats.MailsRelayed++
+			s.printf("Mail accepted for %s\r", s.mailTo)
+		} else {
+			s.gw.Stats.MailFailures++
+			s.printf("Mail failed: %s\r", r.Error)
+		}
+	})
+}

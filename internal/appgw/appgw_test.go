@@ -1,0 +1,177 @@
+package appgw
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"packetradio/internal/ax25"
+	"packetradio/internal/ip"
+	"packetradio/internal/radio"
+	"packetradio/internal/serial"
+	"packetradio/internal/smtp"
+	"packetradio/internal/tcp"
+	"packetradio/internal/telnet"
+	"packetradio/internal/tnc"
+	"packetradio/internal/world"
+)
+
+func seriaLine(s *world.Seattle) (*serial.End, *serial.End) {
+	return serial.NewLine(s.W.Sched, 9600)
+}
+
+func radioParams() radio.Params {
+	return radio.Params{TXDelay: 100 * time.Millisecond, Persist: 1.0, SlotTime: 50 * time.Millisecond}
+}
+
+func mustCall(c string) ax25.Addr { return ax25.MustAddr(c) }
+
+// fixture: the Seattle scenario plus a native-TNC terminal user on the
+// radio channel and telnet+smtp services on the Internet host.
+type fixture struct {
+	s    *world.Seattle
+	gw   *Gateway
+	term *terminal
+	tsrv *telnet.Server
+	msrv *smtp.Server
+}
+
+// terminal drives a Native TNC as a human at a keyboard.
+type terminal struct {
+	hostWrite func([]byte)
+	out       strings.Builder
+}
+
+func (t *terminal) typeLine(line string) { t.hostWrite([]byte(line + "\r")) }
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	s := world.NewSeattle(world.SeattleConfig{Seed: 1})
+	f := &fixture{s: s}
+
+	// Application gateway process on the gateway host.
+	gwTCP := tcp.New(s.Gateway.Stack)
+	f.gw = New(s.W.Sched, s.Gateway.Radio("pr0").Driver, gwTCP)
+	f.gw.Hosts["june"] = world.InternetIP
+	f.gw.MailRelay = world.InternetIP
+
+	// Services on the Internet host.
+	inetTCP := tcp.New(s.Internet.Stack)
+	f.tsrv = &telnet.Server{Hostname: "june"}
+	if err := telnet.Serve(inetTCP, f.tsrv); err != nil {
+		t.Fatal(err)
+	}
+	f.msrv = &smtp.Server{Hostname: "june"}
+	if err := smtp.Serve(inetTCP, f.msrv); err != nil {
+		t.Fatal(err)
+	}
+
+	// A terminal user with a plain (non-IP) TNC on the radio channel.
+	hostEnd, tncEnd := seriaLine(s)
+	rf := s.Channel.Attach("W1GOH", radioParams())
+	tnc.NewNative(s.W.Sched, tncEnd, rf, mustCall("W1GOH"))
+	f.term = &terminal{hostWrite: func(p []byte) { hostEnd.Write(p) }}
+	hostEnd.SetReceiver(func(b byte) { f.term.out.WriteByte(b) })
+	return f
+}
+
+func TestTerminalUserBridgesToTelnet(t *testing.T) {
+	f := newFixture(t)
+	w := f.s.W
+
+	// Connect to the gateway's callsign over plain AX.25.
+	f.term.typeLine("CONNECT N7AKR")
+	w.Run(time.Minute)
+	if !strings.Contains(f.term.out.String(), "*** CONNECTED to N7AKR") {
+		t.Fatalf("no AX.25 connection: %q", f.term.out.String())
+	}
+	w.Run(time.Minute)
+	if !strings.Contains(f.term.out.String(), "UW Packet/Internet Gateway") {
+		t.Fatalf("no gateway banner: %q", f.term.out.String())
+	}
+
+	// Bridge to the Internet host's telnet — §2.4's remote login, with
+	// no IP anywhere on the user's side.
+	f.term.typeLine("TELNET june")
+	w.Run(3 * time.Minute)
+	out := f.term.out.String()
+	if !strings.Contains(out, "Ultrix-32") {
+		t.Fatalf("no telnet banner through bridge: %q", out)
+	}
+	f.term.typeLine("echo packet radio works")
+	w.Run(3 * time.Minute)
+	if !strings.Contains(f.term.out.String(), "packet radio works") {
+		t.Fatalf("echo did not round-trip: %q", f.term.out.String())
+	}
+	if f.gw.Stats.TelnetBridges != 1 {
+		t.Fatalf("stats: %+v", f.gw.Stats)
+	}
+}
+
+func TestTerminalUserSendsMail(t *testing.T) {
+	f := newFixture(t)
+	w := f.s.W
+	f.term.typeLine("CONNECT N7AKR")
+	w.Run(2 * time.Minute)
+	f.term.typeLine("MAIL w1goh bcn@june")
+	w.Run(time.Minute)
+	if !strings.Contains(f.term.out.String(), "Enter message") {
+		t.Fatalf("no mail prompt: %q", f.term.out.String())
+	}
+	f.term.typeLine("Greetings from the non-IP side.")
+	f.term.typeLine(".")
+	w.Run(5 * time.Minute)
+	if !strings.Contains(f.term.out.String(), "Mail accepted") {
+		t.Fatalf("no acceptance: %q", f.term.out.String())
+	}
+	box := f.msrv.Mailboxes["bcn"]
+	if len(box) != 1 {
+		t.Fatalf("mailbox has %d messages", len(box))
+	}
+	if !strings.Contains(box[0].Body, "Greetings from the non-IP side.") {
+		t.Fatalf("body: %q", box[0].Body)
+	}
+	if !strings.Contains(box[0].Body, "AX.25 application gateway") {
+		t.Fatalf("missing Received header: %q", box[0].Body)
+	}
+	if f.gw.Stats.MailsRelayed != 1 {
+		t.Fatalf("stats: %+v", f.gw.Stats)
+	}
+}
+
+func TestUnknownHostAndCommands(t *testing.T) {
+	f := newFixture(t)
+	w := f.s.W
+	f.term.typeLine("CONNECT N7AKR")
+	w.Run(2 * time.Minute)
+	f.term.typeLine("TELNET nowhere")
+	w.Run(time.Minute)
+	if !strings.Contains(f.term.out.String(), "?Unknown host") {
+		t.Fatalf("no unknown-host error: %q", f.term.out.String())
+	}
+	f.term.typeLine("FROBNICATE")
+	w.Run(time.Minute)
+	if !strings.Contains(f.term.out.String(), "?Unknown command") {
+		t.Fatalf("no unknown-command error: %q", f.term.out.String())
+	}
+	f.term.typeLine("BYE")
+	w.Run(time.Minute)
+	if !strings.Contains(f.term.out.String(), "73!") {
+		t.Fatalf("no sign-off: %q", f.term.out.String())
+	}
+	w.Run(time.Minute)
+	if !strings.Contains(f.term.out.String(), "*** DISCONNECTED") {
+		t.Fatalf("link not torn down: %q", f.term.out.String())
+	}
+}
+
+func TestIPTrafficUnaffectedByAppGateway(t *testing.T) {
+	// The tty-queue path must not disturb kernel IP forwarding.
+	f := newFixture(t)
+	var got bool
+	f.s.PCs[0].Stack.Ping(world.InternetIP, 32, func(uint16, time.Duration, ip.Addr) { got = true })
+	f.s.W.Run(2 * time.Minute)
+	if !got {
+		t.Fatal("IP forwarding broken with app gateway installed")
+	}
+}

@@ -1,0 +1,156 @@
+// Package ax25 implements the AX.25 amateur packet-radio link-layer
+// protocol, version 2.0 (Fox, ARRL 1984): callsign addressing, the
+// wire frame format with up-to-eight digipeater source routing, the
+// CRC16-CCITT frame check sequence, and the connected-mode (LAPB-style)
+// state machine used by TNCs and BBSs.
+package ax25
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Addr is an AX.25 station address: a callsign of up to six characters
+// (uppercase letters and digits, space padded on the wire) plus a 4-bit
+// SSID (secondary station identifier). In the paper's words: "AX.25
+// addresses look like amateur radio callsigns followed by a 4 bit
+// system ID."
+type Addr struct {
+	Call [6]byte // space padded, uppercase
+	SSID uint8   // 0-15
+}
+
+// AddrLen is the wire size of one encoded address field.
+const AddrLen = 7
+
+var (
+	errBadCallsign = errors.New("ax25: invalid callsign")
+	errBadSSID     = errors.New("ax25: SSID out of range 0-15")
+	errShortAddr   = errors.New("ax25: short address field")
+)
+
+// NewAddr builds an Addr from text such as "N7AKR", "KB7DZ-4" or
+// "wa6bev-15" (case is folded). It rejects empty calls, calls longer
+// than six characters, characters outside [A-Z0-9], and SSIDs > 15.
+func NewAddr(s string) (Addr, error) {
+	var a Addr
+	call := s
+	if i := strings.IndexByte(s, '-'); i >= 0 {
+		call = s[:i]
+		n, err := strconv.Atoi(s[i+1:])
+		if err != nil || n < 0 || n > 15 {
+			return a, fmt.Errorf("%w: %q", errBadSSID, s)
+		}
+		a.SSID = uint8(n)
+	}
+	if len(call) == 0 || len(call) > 6 {
+		return a, fmt.Errorf("%w: %q", errBadCallsign, s)
+	}
+	for i := 0; i < 6; i++ {
+		a.Call[i] = ' '
+	}
+	for i := 0; i < len(call); i++ {
+		c := call[i]
+		if c >= 'a' && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		if !(c >= 'A' && c <= 'Z' || c >= '0' && c <= '9') {
+			return a, fmt.Errorf("%w: %q", errBadCallsign, s)
+		}
+		a.Call[i] = c
+	}
+	return a, nil
+}
+
+// MustAddr is NewAddr that panics on error; for tests and literals.
+func MustAddr(s string) Addr {
+	a, err := NewAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Callsign returns the callsign without padding or SSID.
+func (a Addr) Callsign() string {
+	return strings.TrimRight(string(a.Call[:]), " ")
+}
+
+// String renders "CALL" or "CALL-SSID".
+func (a Addr) String() string {
+	c := a.Callsign()
+	if a.SSID == 0 {
+		return c
+	}
+	return c + "-" + strconv.Itoa(int(a.SSID))
+}
+
+// IsZero reports whether a is the zero Addr.
+func (a Addr) IsZero() bool { return a == Addr{} }
+
+// Broadcast is the link-level broadcast address "QST" (per KA9Q
+// convention; the paper's driver accepts frames addressed to "the
+// broadcast address" as well as its own callsign).
+var Broadcast = MustAddr("QST")
+
+// Nodes is the NET/ROM routing-broadcast destination address.
+var Nodes = MustAddr("NODES")
+
+// encode writes the 7-byte wire form of a. AX.25 shifts each character
+// left one bit so that bit 0 (the extension bit) of every address byte
+// is free; the final byte carries the SSID in bits 1-4, the C/H bit in
+// bit 7, and two reserved bits (set to 1).
+//
+//	byte 6: | C/H | 1 | 1 | SSID3..0 | EXT |
+func (a Addr) encode(dst []byte, chBit, last bool) {
+	for i := 0; i < 6; i++ {
+		c := a.Call[i]
+		if c == 0 {
+			c = ' '
+		}
+		dst[i] = c << 1
+	}
+	b := byte(0x60) | (a.SSID&0x0F)<<1
+	if chBit {
+		b |= 0x80
+	}
+	if last {
+		b |= 0x01
+	}
+	dst[6] = b
+}
+
+// HW returns the 7-byte wire form of a as used for the hardware
+// address fields of AX.25 ARP packets (shifted callsign + SSID byte,
+// C/H and extension bits clear), per the KA9Q convention the paper's
+// ARP implementation derives from.
+func (a Addr) HW() []byte {
+	buf := make([]byte, AddrLen)
+	a.encode(buf, false, false)
+	return buf
+}
+
+// PutHW writes the 7-byte hardware form of a into dst (len >= 7).
+func (a Addr) PutHW(dst []byte) { a.encode(dst, false, false) }
+
+// HWToAddr decodes a 7-byte ARP hardware address back to an Addr.
+func HWToAddr(hw []byte) (Addr, error) {
+	a, _, _, err := decodeAddr(hw)
+	return a, err
+}
+
+// decodeAddr parses one 7-byte address field, returning the address,
+// the C (command/response) or H (has-been-repeated) bit, and whether
+// the extension bit marks this as the last address in the header.
+func decodeAddr(src []byte) (a Addr, ch bool, last bool, err error) {
+	if len(src) < AddrLen {
+		return a, false, false, errShortAddr
+	}
+	for i := 0; i < 6; i++ {
+		a.Call[i] = src[i] >> 1
+	}
+	a.SSID = (src[6] >> 1) & 0x0F
+	return a, src[6]&0x80 != 0, src[6]&0x01 != 0, nil
+}

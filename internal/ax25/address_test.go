@@ -1,0 +1,132 @@
+package ax25
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAddrBasics(t *testing.T) {
+	cases := []struct {
+		in       string
+		call     string
+		ssid     uint8
+		rendered string
+	}{
+		{"N7AKR", "N7AKR", 0, "N7AKR"},
+		{"KB7DZ-4", "KB7DZ", 4, "KB7DZ-4"},
+		{"wa6bev-15", "WA6BEV", 15, "WA6BEV-15"},
+		{"K3MC-0", "K3MC", 0, "K3MC"},
+		{"QST", "QST", 0, "QST"},
+	}
+	for _, c := range cases {
+		a, err := NewAddr(c.in)
+		if err != nil {
+			t.Fatalf("NewAddr(%q): %v", c.in, err)
+		}
+		if a.Callsign() != c.call || a.SSID != c.ssid {
+			t.Fatalf("NewAddr(%q) = %v/%d, want %s/%d", c.in, a.Callsign(), a.SSID, c.call, c.ssid)
+		}
+		if a.String() != c.rendered {
+			t.Fatalf("String() = %q, want %q", a.String(), c.rendered)
+		}
+	}
+}
+
+func TestNewAddrRejects(t *testing.T) {
+	for _, in := range []string{"", "TOOLONGCALL", "AB CD", "N7AKR-16", "N7AKR--1", "N7AKR-x", "käll"} {
+		if _, err := NewAddr(in); err == nil {
+			t.Fatalf("NewAddr(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestAddrEncodeDecodeRoundTrip(t *testing.T) {
+	a := MustAddr("KG7K-7")
+	var buf [AddrLen]byte
+	a.encode(buf[:], true, false)
+	// Every callsign byte must have its extension bit clear.
+	for i := 0; i < 6; i++ {
+		if buf[i]&1 != 0 {
+			t.Fatalf("byte %d has extension bit set", i)
+		}
+	}
+	got, ch, last, err := decodeAddr(buf[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != a || !ch || last {
+		t.Fatalf("decode = %v ch=%v last=%v, want %v true false", got, ch, last, a)
+	}
+	a.encode(buf[:], false, true)
+	got, ch, last, err = decodeAddr(buf[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != a || ch || !last {
+		t.Fatalf("decode = %v ch=%v last=%v, want %v false true", got, ch, last, a)
+	}
+}
+
+func TestDecodeAddrShort(t *testing.T) {
+	if _, _, _, err := decodeAddr(make([]byte, 6)); err == nil {
+		t.Fatal("want error for short address")
+	}
+}
+
+func TestAddrComparable(t *testing.T) {
+	m := map[Addr]int{MustAddr("N7AKR"): 1, MustAddr("N7AKR-1"): 2}
+	if m[MustAddr("N7AKR")] != 1 || m[MustAddr("N7AKR-1")] != 2 {
+		t.Fatal("Addr does not work as a map key")
+	}
+	if MustAddr("N7AKR") == MustAddr("N7AKR-1") {
+		t.Fatal("SSID must distinguish addresses")
+	}
+}
+
+func TestQuickAddrRoundTrip(t *testing.T) {
+	letters := "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+	f := func(seed uint32, n uint8, ssid uint8) bool {
+		length := int(n%6) + 1
+		call := make([]byte, length)
+		x := seed
+		for i := range call {
+			x = x*1664525 + 1013904223
+			call[i] = letters[x%uint32(len(letters))]
+		}
+		a := Addr{SSID: ssid & 0x0F}
+		for i := 0; i < 6; i++ {
+			a.Call[i] = ' '
+		}
+		copy(a.Call[:], call)
+		var buf [AddrLen]byte
+		a.encode(buf[:], false, false)
+		got, _, _, err := decodeAddr(buf[:])
+		if err != nil {
+			return false
+		}
+		b, err := NewAddr(a.String())
+		return err == nil && got == a && b == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMustAddrPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAddr should panic on bad input")
+		}
+	}()
+	MustAddr("not a call!")
+}
+
+func TestIsZero(t *testing.T) {
+	var a Addr
+	if !a.IsZero() {
+		t.Fatal("zero Addr should report IsZero")
+	}
+	if Broadcast.IsZero() {
+		t.Fatal("Broadcast should not be zero")
+	}
+}

@@ -1,0 +1,221 @@
+package ax25
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func mustEncode(t *testing.T, f *Frame) []byte {
+	t.Helper()
+	b, err := f.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestUIFrameRoundTrip(t *testing.T) {
+	f := NewUI(MustAddr("KD7NM"), MustAddr("N7AKR-2"), PIDIP, []byte{1, 2, 3, 4})
+	enc := mustEncode(t, f)
+	if len(enc) != f.EncodedLen() {
+		t.Fatalf("EncodedLen = %d, len = %d", f.EncodedLen(), len(enc))
+	}
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dst != f.Dst || got.Src != f.Src || got.Kind != KindUI ||
+		got.PID != PIDIP || !bytes.Equal(got.Info, f.Info) || !got.Command {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestDigipeaterPathRoundTrip(t *testing.T) {
+	f := NewUI(MustAddr("KB7DZ"), MustAddr("W1GOH"), PIDNone, []byte("hi")).
+		Via(MustAddr("RELAY-1"), MustAddr("RELAY-2"), MustAddr("RELAY-3"))
+	f.Digi[0].Repeated = true
+	enc := mustEncode(t, f)
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Digi) != 3 {
+		t.Fatalf("digi count = %d", len(got.Digi))
+	}
+	if !got.Digi[0].Repeated || got.Digi[1].Repeated || got.Digi[2].Repeated {
+		t.Fatalf("H bits wrong: %+v", got.Digi)
+	}
+	if got.Digi[1].Addr != MustAddr("RELAY-2") {
+		t.Fatalf("digi[1] = %v", got.Digi[1].Addr)
+	}
+}
+
+func TestMaxDigisEnforced(t *testing.T) {
+	digis := make([]Addr, 9)
+	for i := range digis {
+		digis[i] = MustAddr("D1")
+		digis[i].SSID = uint8(i)
+	}
+	f := NewUI(MustAddr("A1"), MustAddr("B1"), PIDNone, nil).Via(digis...)
+	if _, err := f.Encode(nil); err == nil {
+		t.Fatal("encoding 9 digipeaters should fail")
+	}
+	// Eight is fine.
+	f = NewUI(MustAddr("A1"), MustAddr("B1"), PIDNone, nil).Via(digis[:8]...)
+	enc := mustEncode(t, f)
+	got, err := Decode(enc)
+	if err != nil || len(got.Digi) != 8 {
+		t.Fatalf("decode: %v, digis=%d", err, len(got.Digi))
+	}
+}
+
+func TestAllFrameKindsRoundTrip(t *testing.T) {
+	a, b := MustAddr("AA1A"), MustAddr("BB2B-3")
+	for _, k := range []Kind{KindSABM, KindUA, KindDISC, KindDM, KindFRMR} {
+		for _, pf := range []bool{false, true} {
+			f := &Frame{Dst: a, Src: b, Kind: k, PF: pf, Command: true}
+			got, err := Decode(mustEncode(t, f))
+			if err != nil {
+				t.Fatalf("%v: %v", k, err)
+			}
+			if got.Kind != k || got.PF != pf {
+				t.Fatalf("kind %v pf %v: got %v %v", k, pf, got.Kind, got.PF)
+			}
+		}
+	}
+	for _, k := range []Kind{KindRR, KindRNR, KindREJ} {
+		for nr := uint8(0); nr < 8; nr++ {
+			f := &Frame{Dst: a, Src: b, Kind: k, NR: nr}
+			got, err := Decode(mustEncode(t, f))
+			if err != nil {
+				t.Fatalf("%v nr=%d: %v", k, nr, err)
+			}
+			if got.Kind != k || got.NR != nr {
+				t.Fatalf("%v nr=%d: got %v nr=%d", k, nr, got.Kind, got.NR)
+			}
+		}
+	}
+	for ns := uint8(0); ns < 8; ns++ {
+		for nr := uint8(0); nr < 8; nr++ {
+			f := &Frame{Dst: a, Src: b, Kind: KindI, NS: ns, NR: nr, PID: PIDNone, Info: []byte("x"), Command: true}
+			got, err := Decode(mustEncode(t, f))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Kind != KindI || got.NS != ns || got.NR != nr || got.PID != PIDNone {
+				t.Fatalf("I ns=%d nr=%d: got %+v", ns, nr, got)
+			}
+		}
+	}
+}
+
+func TestCommandResponseBit(t *testing.T) {
+	a, b := MustAddr("AA1A"), MustAddr("BB2B")
+	cmd := &Frame{Dst: a, Src: b, Kind: KindRR, Command: true}
+	got, err := Decode(mustEncode(t, cmd))
+	if err != nil || !got.Command {
+		t.Fatalf("command bit lost: %v %v", got, err)
+	}
+	resp := &Frame{Dst: a, Src: b, Kind: KindRR, Command: false}
+	got, err = Decode(mustEncode(t, resp))
+	if err != nil || got.Command {
+		t.Fatalf("response decoded as command: %v %v", got, err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("nil frame should fail")
+	}
+	if _, err := Decode(make([]byte, 10)); err == nil {
+		t.Fatal("short frame should fail")
+	}
+	// Address header claims last=true on the destination.
+	f := NewUI(MustAddr("AA1A"), MustAddr("BB2B"), PIDNone, nil)
+	enc := mustEncode(t, f)
+	enc[6] |= 0x01 // set extension bit on dst
+	if _, err := Decode(enc); err == nil {
+		t.Fatal("dst-is-last should fail")
+	}
+	// I frame missing PID.
+	hdr := enc[:14]
+	bad := append(append([]byte(nil), hdr...), ctlI) // I frame, then nothing
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("I frame without PID should fail")
+	}
+}
+
+func TestNextDigiAndLinkDst(t *testing.T) {
+	f := NewUI(MustAddr("DEST"), MustAddr("SRC"), PIDNone, nil).
+		Via(MustAddr("D1"), MustAddr("D2"))
+	if f.NextDigi() != 0 || f.LinkDst() != MustAddr("D1") {
+		t.Fatalf("fresh path: next=%d linkdst=%v", f.NextDigi(), f.LinkDst())
+	}
+	f.Digi[0].Repeated = true
+	if f.NextDigi() != 1 || f.LinkDst() != MustAddr("D2") {
+		t.Fatalf("after first hop: next=%d linkdst=%v", f.NextDigi(), f.LinkDst())
+	}
+	f.Digi[1].Repeated = true
+	if f.NextDigi() != -1 || f.LinkDst() != MustAddr("DEST") {
+		t.Fatalf("exhausted path: next=%d linkdst=%v", f.NextDigi(), f.LinkDst())
+	}
+	g := NewUI(MustAddr("DEST"), MustAddr("SRC"), PIDNone, nil)
+	if g.NextDigi() != -1 || g.LinkDst() != MustAddr("DEST") {
+		t.Fatal("no-path frame should go direct")
+	}
+}
+
+func TestFrameString(t *testing.T) {
+	f := NewUI(MustAddr("KD7NM"), MustAddr("N7AKR"), PIDIP, []byte{0, 1}).
+		Via(MustAddr("RLY"))
+	f.Digi[0].Repeated = true
+	s := f.String()
+	want := "N7AKR>KD7NM,RLY*: UI pid=0xcc len=2"
+	if s != want {
+		t.Fatalf("String() = %q, want %q", s, want)
+	}
+}
+
+func TestClone(t *testing.T) {
+	f := NewUI(MustAddr("A1"), MustAddr("B2"), PIDIP, []byte{1, 2, 3}).Via(MustAddr("D1"))
+	g := f.Clone()
+	g.Info[0] = 99
+	g.Digi[0].Repeated = true
+	if f.Info[0] == 99 || f.Digi[0].Repeated {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestQuickFrameRoundTrip(t *testing.T) {
+	calls := []string{"AA1A", "BB2B-1", "CC3C-15", "D4D", "EE5EE-7"}
+	f := func(dst, src, ndigi uint8, pf bool, info []byte) bool {
+		fr := NewUI(MustAddr(calls[int(dst)%len(calls)]), MustAddr(calls[int(src)%len(calls)]), PIDIP, info)
+		fr.PF = pf
+		n := int(ndigi) % (MaxDigis + 1)
+		digis := make([]Addr, n)
+		for i := range digis {
+			digis[i] = MustAddr(calls[(int(dst)+i)%len(calls)])
+		}
+		fr = fr.Via(digis...)
+		enc, err := fr.Encode(nil)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(enc)
+		if err != nil {
+			return false
+		}
+		return got.Dst == fr.Dst && got.Src == fr.Src && len(got.Digi) == n &&
+			got.PF == pf && bytes.Equal(got.Info, fr.Info)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindSABM.String() != "SABM" || KindUI.String() != "UI" || Kind(99).String() != "Kind(99)" {
+		t.Fatal("Kind.String broken")
+	}
+}

@@ -1,0 +1,121 @@
+package ax25
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"packetradio/internal/sim"
+)
+
+// Property: over a link with random loss in both directions, connected
+// mode either delivers the exact byte stream in order or reports a
+// link failure — never corruption, duplication or reordering. Run
+// across many seeds and loss rates.
+func TestLAPBStreamIntegrityUnderRandomLoss(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		for _, lossPct := range []int{5, 15, 30} {
+			seed, lossPct := seed, lossPct
+			t.Run(fmt.Sprintf("seed%d_loss%d", seed, lossPct), func(t *testing.T) {
+				sched := sim.NewScheduler(seed)
+				lp := &linkPair{sched: sched, delay: 50 * time.Millisecond}
+				lp.a = NewEndpoint(sched, MustAddr("AAA"), func(f *Frame) { lp.deliver("a->b", f, lp.bInput) })
+				lp.b = NewEndpoint(sched, MustAddr("BBB"), func(f *Frame) { lp.deliver("b->a", f, lp.aInput) })
+				lp.a.Config = ConnConfig{T1: 2 * time.Second, N2: 25, PacLen: 64}
+				lp.b.Config = ConnConfig{T1: 2 * time.Second, N2: 25, PacLen: 64}
+				lp.drop = func(string, *Frame) bool {
+					return sched.Rand().Intn(100) < lossPct
+				}
+
+				var rcvd bytes.Buffer
+				lp.b.Accept = func(c *Conn) bool {
+					c.OnData = func(p []byte) { rcvd.Write(p) }
+					return true
+				}
+				c := lp.a.Dial(MustAddr("BBB"))
+				sched.RunFor(5 * time.Minute)
+				if c.State() != StateConnected {
+					// Connection setup may legitimately fail at high
+					// loss; that is a reported failure, not corruption.
+					if c.Err() == nil {
+						t.Fatal("not connected but no error")
+					}
+					return
+				}
+				want := make([]byte, 600)
+				r := sched.Rand()
+				for i := range want {
+					want[i] = byte(r.Intn(256))
+				}
+				for i := 0; i < len(want); i += 100 {
+					c.Send(want[i : i+100])
+				}
+				sched.RunFor(4 * time.Hour)
+
+				got := rcvd.Bytes()
+				if c.State() == StateConnected || c.Err() == nil {
+					// Link survived: stream must be exact.
+					if !bytes.Equal(got, want) {
+						t.Fatalf("stream corrupted: got %d bytes, want %d (prefix ok=%v)",
+							len(got), len(want), bytes.HasPrefix(want, got))
+					}
+					return
+				}
+				// Link failed: whatever arrived must be a clean prefix.
+				if !bytes.HasPrefix(want, got) {
+					t.Fatalf("delivered bytes are not a prefix after failure (%d bytes)", len(got))
+				}
+			})
+		}
+	}
+}
+
+// Property: frames damaged on the wire (decoded as garbage) never
+// corrupt connection state — the FCS/codec layers reject them.
+func TestLAPBIgnoresCorruptFrames(t *testing.T) {
+	sched := sim.NewScheduler(3)
+	lp := &linkPair{sched: sched, delay: 10 * time.Millisecond}
+	// In the real system the driver filters frames whose link address
+	// is not ours before the endpoint sees them (§2.2's callsign
+	// check); the harness must do the same, or DM replies to garbage
+	// sources would cross-wire into the live link.
+	filtered := func(ep func() *Endpoint) func(*Frame) {
+		return func(f *Frame) {
+			if f.Dst == ep().Local {
+				ep().Input(f)
+			}
+		}
+	}
+	lp.a = NewEndpoint(sched, MustAddr("AAA"), func(f *Frame) { lp.deliver("a->b", f, filtered(func() *Endpoint { return lp.b })) })
+	lp.b = NewEndpoint(sched, MustAddr("BBB"), func(f *Frame) { lp.deliver("b->a", f, filtered(func() *Endpoint { return lp.a })) })
+	var rcvd bytes.Buffer
+	lp.b.Accept = func(c *Conn) bool {
+		c.OnData = func(p []byte) { rcvd.Write(p) }
+		return true
+	}
+	c := lp.a.Dial(MustAddr("BBB"))
+	sched.RunFor(time.Second)
+
+	// Inject random garbage frames (as if FCS checking were bypassed);
+	// only garbage that happens to be addressed to the endpoint gets
+	// through, as with the real driver.
+	for i := 0; i < 200; i++ {
+		raw := make([]byte, 20+sched.Rand().Intn(60))
+		sched.Rand().Read(raw)
+		if f, err := Decode(raw); err == nil {
+			if f.Dst == lp.a.Local {
+				lp.a.Input(f)
+			}
+			if f.Dst == lp.b.Local {
+				lp.b.Input(f.Clone())
+			}
+		}
+	}
+	sched.RunFor(time.Minute)
+	c.Send([]byte("still sane"))
+	sched.RunFor(time.Minute)
+	if rcvd.String() != "still sane" {
+		t.Fatalf("state corrupted by garbage: %q", rcvd.String())
+	}
+}

@@ -1,0 +1,157 @@
+package bbs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"packetradio/internal/ax25"
+	"packetradio/internal/radio"
+	"packetradio/internal/serial"
+	"packetradio/internal/sim"
+	"packetradio/internal/tnc"
+)
+
+// fixture: a BBS and a native-TNC terminal user sharing a channel.
+type fixture struct {
+	sched *sim.Scheduler
+	ch    *radio.Channel
+	board *Board
+	out   strings.Builder
+	write func([]byte)
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	f := &fixture{sched: sim.NewScheduler(1)}
+	f.ch = radio.NewChannel(f.sched, 1200)
+	f.board = New(f.sched, f.ch, "UWBBS")
+
+	hostEnd, tncEnd := serial.NewLine(f.sched, 9600)
+	rf := f.ch.Attach("N7AKR", radio.Params{TXDelay: 100 * time.Millisecond, Persist: 1.0, SlotTime: 50 * time.Millisecond})
+	tnc.NewNative(f.sched, tncEnd, rf, ax25.MustAddr("N7AKR"))
+	hostEnd.SetReceiver(func(b byte) { f.out.WriteByte(b) })
+	f.write = func(p []byte) { hostEnd.Write(p) }
+	return f
+}
+
+func (f *fixture) typeLine(line string) {
+	f.write([]byte(line + "\r"))
+}
+
+func (f *fixture) connect(t *testing.T) {
+	t.Helper()
+	f.typeLine("CONNECT UWBBS")
+	f.sched.RunFor(time.Minute)
+	if !strings.Contains(f.out.String(), "Welcome N7AKR") {
+		t.Fatalf("no BBS welcome: %q", f.out.String())
+	}
+}
+
+func TestSendListReadKill(t *testing.T) {
+	f := newFixture(t)
+	f.connect(t)
+
+	// Leave a message.
+	f.typeLine("S KB7DZ")
+	f.sched.RunFor(time.Minute)
+	f.typeLine("Meeting Tuesday")
+	f.sched.RunFor(30 * time.Second)
+	f.typeLine("Club meeting at 7pm.")
+	f.typeLine("Bring your TNC.")
+	f.typeLine(".")
+	f.sched.RunFor(2 * time.Minute)
+	if !strings.Contains(f.out.String(), "Msg 1 stored") {
+		t.Fatalf("message not stored: %q", f.out.String())
+	}
+	if f.board.Stats.Stored != 1 {
+		t.Fatalf("stats: %+v", f.board.Stats)
+	}
+
+	// List it.
+	f.typeLine("L")
+	f.sched.RunFor(2 * time.Minute)
+	if !strings.Contains(f.out.String(), "KB7DZ  Meeting Tuesday") {
+		t.Fatalf("list missing message: %q", f.out.String())
+	}
+
+	// Read it.
+	f.typeLine("R 1")
+	f.sched.RunFor(2 * time.Minute)
+	if !strings.Contains(f.out.String(), "Bring your TNC.") {
+		t.Fatalf("read missing body: %q", f.out.String())
+	}
+
+	// Kill it.
+	f.typeLine("K 1")
+	f.sched.RunFor(2 * time.Minute)
+	if !strings.Contains(f.out.String(), "Msg 1 killed") {
+		t.Fatalf("kill failed: %q", f.out.String())
+	}
+	if len(f.board.Messages()) != 0 {
+		t.Fatal("message store not empty")
+	}
+
+	// Bye.
+	f.typeLine("B")
+	f.sched.RunFor(2 * time.Minute)
+	if !strings.Contains(f.out.String(), "73 de UWBBS") {
+		t.Fatalf("no sign-off: %q", f.out.String())
+	}
+}
+
+func TestEmptyListAndErrors(t *testing.T) {
+	f := newFixture(t)
+	f.connect(t)
+	f.typeLine("L")
+	f.sched.RunFor(time.Minute)
+	if !strings.Contains(f.out.String(), "No messages") {
+		t.Fatalf("empty list: %q", f.out.String())
+	}
+	f.typeLine("R 99")
+	f.sched.RunFor(time.Minute)
+	if !strings.Contains(f.out.String(), "No such message") {
+		t.Fatalf("bad read: %q", f.out.String())
+	}
+	f.typeLine("X")
+	f.sched.RunFor(time.Minute)
+	if !strings.Contains(f.out.String(), "?Commands") {
+		t.Fatalf("no help: %q", f.out.String())
+	}
+}
+
+func TestForwardingNonLocalMail(t *testing.T) {
+	f := newFixture(t)
+	f.board.HomeUsers["N7AKR"] = true
+	var forwarded []Message
+	f.board.Forward = func(m Message) bool {
+		forwarded = append(forwarded, m)
+		return true
+	}
+	// Local mail stays.
+	f.board.Post("KB7DZ", "N7AKR", "local", "stays here")
+	// Non-local mail forwards and leaves the store.
+	f.board.Post("KB7DZ", "W1GOH", "remote", "passes through")
+	if len(forwarded) != 1 || forwarded[0].To != "W1GOH" {
+		t.Fatalf("forwarded: %+v", forwarded)
+	}
+	if len(f.board.Messages()) != 1 || f.board.Messages()[0].To != "N7AKR" {
+		t.Fatalf("store: %+v", f.board.Messages())
+	}
+	if f.board.Stats.Forwarded != 1 {
+		t.Fatalf("stats: %+v", f.board.Stats)
+	}
+}
+
+func TestBulletinsToALLNotForwarded(t *testing.T) {
+	f := newFixture(t)
+	called := false
+	f.board.Forward = func(Message) bool { called = true; return true }
+	f.board.Post("KB7DZ", "ALL", "bulletin", "for everyone")
+	if called {
+		t.Fatal("bulletin offered for forwarding")
+	}
+	if len(f.board.Messages()) != 1 {
+		t.Fatal("bulletin not stored")
+	}
+}

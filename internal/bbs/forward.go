@@ -1,0 +1,150 @@
+package bbs
+
+import (
+	"fmt"
+	"strings"
+
+	"packetradio/internal/ax25"
+)
+
+// AX25Forwarder implements §1's BBS store-and-forward: "The BBSs would
+// forward mail to other BBSs for non-local users using packet radio."
+// It connects to a peer board over AX.25 connected mode and replays
+// the message through the ordinary S/Subject/body dialogue, one queued
+// message at a time — the W0RLI forwarding style, minus the decade of
+// header conventions.
+type AX25Forwarder struct {
+	Peer ax25.Addr
+	Via  []ax25.Addr
+
+	Stats struct {
+		Queued    uint64
+		Delivered uint64
+		Failures  uint64
+	}
+
+	board   *Board
+	queue   []Message
+	active  bool
+	conn    *ax25.Conn
+	buf     strings.Builder
+	state   fwdState
+	current Message
+}
+
+type fwdState int
+
+const (
+	fwdIdle fwdState = iota
+	fwdAwaitPrompt
+	fwdAwaitSubject
+	fwdAwaitBody
+	fwdAwaitStored
+)
+
+// NewAX25Forwarder hooks a forwarder to board as its Forward handler
+// and returns it. Messages for non-home users will be queued and
+// shipped to peer.
+func NewAX25Forwarder(board *Board, peer ax25.Addr, via ...ax25.Addr) *AX25Forwarder {
+	f := &AX25Forwarder{Peer: peer, Via: via, board: board}
+	board.Forward = f.enqueue
+	return f
+}
+
+// enqueue is the Forwarder callback: accept responsibility and ship
+// asynchronously.
+func (f *AX25Forwarder) enqueue(m Message) bool {
+	f.Stats.Queued++
+	f.queue = append(f.queue, m)
+	f.kick()
+	return true
+}
+
+// Pending reports undelivered messages.
+func (f *AX25Forwarder) Pending() int { return len(f.queue) }
+
+func (f *AX25Forwarder) kick() {
+	if f.active || len(f.queue) == 0 {
+		return
+	}
+	f.active = true
+	f.current = f.queue[0]
+	f.queue = f.queue[1:]
+	f.state = fwdAwaitPrompt
+	f.buf.Reset()
+	c := f.board.ep.Dial(f.Peer, f.Via...)
+	f.conn = c
+	c.OnData = f.input
+	c.OnState = func(st ax25.ConnState) {
+		if st == ax25.StateDisconnected {
+			if f.state != fwdIdle {
+				// Link died mid-transfer: requeue and count.
+				f.Stats.Failures++
+				f.queue = append([]Message{f.current}, f.queue...)
+			}
+			f.board.ep.Remove(f.Peer)
+			f.active = false
+			// A later Post will kick again; do not loop on a dead
+			// link forever.
+		}
+	}
+}
+
+func (f *AX25Forwarder) send(line string) {
+	f.conn.Send([]byte(line + "\r"))
+}
+
+func (f *AX25Forwarder) input(p []byte) {
+	f.buf.Write(p)
+	text := f.buf.String()
+	switch f.state {
+	case fwdAwaitPrompt:
+		if strings.Contains(text, ">") {
+			f.buf.Reset()
+			f.send("S " + f.current.To)
+			f.state = fwdAwaitSubject
+		}
+	case fwdAwaitSubject:
+		if strings.Contains(text, "Subject:") {
+			f.buf.Reset()
+			f.send(f.current.Subject)
+			f.state = fwdAwaitBody
+		}
+	case fwdAwaitBody:
+		if strings.Contains(text, "Enter message") {
+			f.buf.Reset()
+			for _, l := range strings.Split(strings.TrimRight(f.current.Body, "\n"), "\n") {
+				if l == "." {
+					l = ". " // never terminate early on a body dot
+				}
+				f.send(l)
+			}
+			f.send(".")
+			f.state = fwdAwaitStored
+		}
+	case fwdAwaitStored:
+		if strings.Contains(text, "stored") {
+			f.buf.Reset()
+			f.Stats.Delivered++
+			f.state = fwdIdle
+			f.send("B")
+			// The peer will disconnect; OnState requeues nothing since
+			// state is idle, and kicks the next message.
+			if len(f.queue) > 0 {
+				// Chain the next delivery after the disconnect.
+				cur := f.conn
+				cur.OnState = func(st ax25.ConnState) {
+					if st == ax25.StateDisconnected {
+						f.board.ep.Remove(f.Peer)
+						f.active = false
+						f.kick()
+					}
+				}
+			}
+		}
+	}
+}
+
+func (f *AX25Forwarder) String() string {
+	return fmt.Sprintf("ax25-forwarder->%s (queued %d)", f.Peer, len(f.queue))
+}

@@ -1,0 +1,196 @@
+// Package callbook implements the distributed callbook service the
+// paper's §5 proposes: "With a distributed callbook server, data for a
+// particular country, or part of a country, could be maintained on a
+// system local to that area. Given a call sign, an application running
+// on a PC could determine what area the call sign is from, and then
+// send off a query to the appropriate server."
+//
+// It also implements the two applications the paper sketches on top:
+// "have their antennas automatically rotated to the correct bearing"
+// (great-circle bearing from the grid coordinates in each record) and
+// "print out a mailing label for the QSL card".
+package callbook
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"packetradio/internal/ip"
+	"packetradio/internal/udp"
+)
+
+// Port is the callbook UDP service port.
+const Port = 1123
+
+// Record is one callbook entry.
+type Record struct {
+	Call    string
+	Name    string
+	Address string
+	City    string
+	// Lat/Lon in degrees (positive north/east) for bearing service.
+	Lat, Lon float64
+}
+
+// wire format: simple text protocol, one line per query/response.
+//
+//	query:    "CALL <callsign>"
+//	response: "OK <call>|<name>|<address>|<city>|<lat>|<lon>"
+//	          "NOTFOUND <call>"
+
+// Server answers queries for one region's records.
+type Server struct {
+	Region  string
+	Records map[string]Record
+
+	Stats struct {
+		Queries uint64
+		Hits    uint64
+		Misses  uint64
+	}
+}
+
+// Serve binds the server to mux's callbook port.
+func Serve(mux *udp.Mux, srv *Server) error {
+	if srv.Records == nil {
+		srv.Records = make(map[string]Record)
+	}
+	var sock *udp.Socket
+	sock, err := mux.Bind(Port, func(src ip.Addr, srcPort uint16, payload []byte) {
+		srv.Stats.Queries++
+		fields := strings.Fields(string(payload))
+		if len(fields) != 2 || fields[0] != "CALL" {
+			return
+		}
+		call := strings.ToUpper(fields[1])
+		rec, ok := srv.Records[call]
+		var resp string
+		if ok {
+			srv.Stats.Hits++
+			resp = fmt.Sprintf("OK %s|%s|%s|%s|%g|%g",
+				rec.Call, rec.Name, rec.Address, rec.City, rec.Lat, rec.Lon)
+		} else {
+			srv.Stats.Misses++
+			resp = "NOTFOUND " + call
+		}
+		sock.SendTo(src, srcPort, []byte(resp))
+	})
+	return err
+}
+
+// Add inserts a record.
+func (s *Server) Add(r Record) {
+	if s.Records == nil {
+		s.Records = make(map[string]Record)
+	}
+	s.Records[strings.ToUpper(r.Call)] = r
+}
+
+// --- Client ----------------------------------------------------------------
+
+// Resolver picks the right regional server for a callsign, as the
+// paper describes: prefixes identify the region.
+type Resolver struct {
+	// Regions maps callsign prefixes (longest match wins) to the
+	// server for that region.
+	Regions map[string]ip.Addr
+
+	// MyLat/MyLon locate the querying station for bearing computation.
+	MyLat, MyLon float64
+
+	mux     *udp.Mux
+	sock    *udp.Socket
+	pending map[string]func(*Record, bool)
+}
+
+// NewResolver binds an ephemeral client socket.
+func NewResolver(mux *udp.Mux) (*Resolver, error) {
+	r := &Resolver{
+		Regions: make(map[string]ip.Addr),
+		mux:     mux,
+		pending: make(map[string]func(*Record, bool)),
+	}
+	sock, err := mux.Bind(0, r.input)
+	if err != nil {
+		return nil, err
+	}
+	r.sock = sock
+	return r, nil
+}
+
+// ServerFor picks the regional server (longest matching prefix).
+func (r *Resolver) ServerFor(call string) (ip.Addr, bool) {
+	call = strings.ToUpper(call)
+	best := ""
+	var addr ip.Addr
+	for prefix, a := range r.Regions {
+		if strings.HasPrefix(call, strings.ToUpper(prefix)) && len(prefix) > len(best) {
+			best = prefix
+			addr = a
+		}
+	}
+	return addr, best != ""
+}
+
+// Lookup queries the right server; cb fires with the record (or found
+// = false). Queries with no matching region fail immediately.
+func (r *Resolver) Lookup(call string, cb func(rec *Record, found bool)) {
+	call = strings.ToUpper(call)
+	server, ok := r.ServerFor(call)
+	if !ok {
+		cb(nil, false)
+		return
+	}
+	r.pending[call] = cb
+	r.sock.SendTo(server, Port, []byte("CALL "+call))
+}
+
+func (r *Resolver) input(src ip.Addr, srcPort uint16, payload []byte) {
+	line := string(payload)
+	switch {
+	case strings.HasPrefix(line, "OK "):
+		parts := strings.Split(line[3:], "|")
+		if len(parts) != 6 {
+			return
+		}
+		rec := &Record{Call: parts[0], Name: parts[1], Address: parts[2], City: parts[3]}
+		fmt.Sscanf(parts[4], "%g", &rec.Lat)
+		fmt.Sscanf(parts[5], "%g", &rec.Lon)
+		if cb, ok := r.pending[strings.ToUpper(rec.Call)]; ok {
+			delete(r.pending, strings.ToUpper(rec.Call))
+			cb(rec, true)
+		}
+	case strings.HasPrefix(line, "NOTFOUND "):
+		call := strings.TrimSpace(line[len("NOTFOUND "):])
+		if cb, ok := r.pending[call]; ok {
+			delete(r.pending, call)
+			cb(nil, false)
+		}
+	}
+}
+
+// Bearing computes the initial great-circle bearing in degrees from
+// the resolver's station to the record's coordinates — the value an
+// antenna rotator needs.
+func (r *Resolver) Bearing(rec *Record) float64 {
+	return InitialBearing(r.MyLat, r.MyLon, rec.Lat, rec.Lon)
+}
+
+// InitialBearing is the great-circle forward azimuth from (lat1,lon1)
+// to (lat2,lon2), degrees clockwise from true north in [0, 360).
+func InitialBearing(lat1, lon1, lat2, lon2 float64) float64 {
+	rad := math.Pi / 180
+	φ1, φ2 := lat1*rad, lat2*rad
+	Δλ := (lon2 - lon1) * rad
+	y := math.Sin(Δλ) * math.Cos(φ2)
+	x := math.Cos(φ1)*math.Sin(φ2) - math.Sin(φ1)*math.Cos(φ2)*math.Cos(Δλ)
+	θ := math.Atan2(y, x) / rad
+	return math.Mod(θ+360, 360)
+}
+
+// QSLLabel renders the mailing label the paper imagines printing "as a
+// contact is made".
+func QSLLabel(rec *Record) string {
+	return fmt.Sprintf("%s\n%s\n%s\n%s", rec.Call, rec.Name, rec.Address, rec.City)
+}

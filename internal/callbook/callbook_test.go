@@ -1,0 +1,171 @@
+package callbook
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"packetradio/internal/ether"
+	"packetradio/internal/ip"
+	"packetradio/internal/ipstack"
+	"packetradio/internal/sim"
+	"packetradio/internal/udp"
+)
+
+// fixture: three hosts — client plus two regional servers.
+type fixture struct {
+	sched      *sim.Scheduler
+	client     *udp.Mux
+	west, east *Server
+	resolver   *Resolver
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	f := &fixture{sched: sim.NewScheduler(1)}
+	g := ether.NewSegment(f.sched, 0)
+	mk := func(name, addr string) *udp.Mux {
+		st := ipstack.New(f.sched, name)
+		n := g.Attach("qe0", ip.MustAddr(addr), st)
+		n.Init()
+		st.AddInterface(n, ip.MustAddr(addr), ip.MaskClassC)
+		return udp.NewMux(st)
+	}
+	f.client = mk("pc", "10.0.0.1")
+	westMux := mk("west", "10.0.0.2")
+	eastMux := mk("east", "10.0.0.3")
+
+	f.west = &Server{Region: "west"}
+	f.west.Add(Record{Call: "N7AKR", Name: "Bob Albrightson", Address: "1 Radio Rd", City: "Seattle WA", Lat: 47.6, Lon: -122.3})
+	f.west.Add(Record{Call: "W6XYZ", Name: "Carol Coast", Address: "2 Pacific Ave", City: "San Francisco CA", Lat: 37.8, Lon: -122.4})
+	if err := Serve(westMux, f.west); err != nil {
+		t.Fatal(err)
+	}
+	f.east = &Server{Region: "east"}
+	f.east.Add(Record{Call: "W1GOH", Name: "Steve Ward", Address: "3 MIT Way", City: "Cambridge MA", Lat: 42.4, Lon: -71.1})
+	if err := Serve(eastMux, f.east); err != nil {
+		t.Fatal(err)
+	}
+
+	var err error
+	f.resolver, err = NewResolver(f.client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Region map: 6/7-land to the west server, 1-land to the east.
+	f.resolver.Regions["N7"] = ip.MustAddr("10.0.0.2")
+	f.resolver.Regions["W6"] = ip.MustAddr("10.0.0.2")
+	f.resolver.Regions["W1"] = ip.MustAddr("10.0.0.3")
+	f.resolver.MyLat, f.resolver.MyLon = 47.6, -122.3 // Seattle
+	return f
+}
+
+func TestLookupRoutesToRightRegion(t *testing.T) {
+	f := newFixture(t)
+	var west, east *Record
+	f.resolver.Lookup("W1GOH", func(r *Record, ok bool) { east = r })
+	f.resolver.Lookup("W6XYZ", func(r *Record, ok bool) { west = r })
+	f.sched.RunFor(time.Second)
+	if east == nil || east.Name != "Steve Ward" {
+		t.Fatalf("east lookup: %+v", east)
+	}
+	if west == nil || west.City != "San Francisco CA" {
+		t.Fatalf("west lookup: %+v", west)
+	}
+	if f.east.Stats.Queries != 1 || f.west.Stats.Queries != 1 {
+		t.Fatalf("query distribution: east=%d west=%d", f.east.Stats.Queries, f.west.Stats.Queries)
+	}
+}
+
+func TestLookupNotFound(t *testing.T) {
+	f := newFixture(t)
+	missing := false
+	f.resolver.Lookup("N7NONE", func(r *Record, ok bool) { missing = !ok })
+	f.sched.RunFor(time.Second)
+	if !missing {
+		t.Fatal("missing call reported found")
+	}
+	if f.west.Stats.Misses != 1 {
+		t.Fatalf("stats: %+v", f.west.Stats)
+	}
+}
+
+func TestLookupNoRegionFailsFast(t *testing.T) {
+	f := newFixture(t)
+	called := false
+	f.resolver.Lookup("JA1XYZ", func(r *Record, ok bool) { called = true; _ = ok })
+	if !called {
+		t.Fatal("no-region lookup should fail synchronously")
+	}
+}
+
+func TestBearingSeattleToCambridge(t *testing.T) {
+	f := newFixture(t)
+	var rec *Record
+	f.resolver.Lookup("W1GOH", func(r *Record, ok bool) { rec = r })
+	f.sched.RunFor(time.Second)
+	if rec == nil {
+		t.Fatal("lookup failed")
+	}
+	b := f.resolver.Bearing(rec)
+	// Seattle -> Boston area: roughly east-northeast, ~75 degrees.
+	if b < 60 || b > 90 {
+		t.Fatalf("bearing = %.1f, want ~75", b)
+	}
+}
+
+func TestInitialBearingCardinalPoints(t *testing.T) {
+	cases := []struct {
+		name                   string
+		lat1, lon1, lat2, lon2 float64
+		want                   float64
+	}{
+		{"due north", 0, 0, 10, 0, 0},
+		{"due east", 0, 0, 0, 10, 90},
+		{"due south", 10, 0, 0, 0, 180},
+		{"due west", 0, 10, 0, 0, 270},
+	}
+	for _, c := range cases {
+		got := InitialBearing(c.lat1, c.lon1, c.lat2, c.lon2)
+		if math.Abs(got-c.want) > 0.01 {
+			t.Fatalf("%s: bearing = %.2f, want %.2f", c.name, got, c.want)
+		}
+	}
+}
+
+func TestQSLLabel(t *testing.T) {
+	label := QSLLabel(&Record{Call: "N7AKR", Name: "Bob", Address: "1 Radio Rd", City: "Seattle WA"})
+	want := "N7AKR\nBob\n1 Radio Rd\nSeattle WA"
+	if label != want {
+		t.Fatalf("label = %q", label)
+	}
+}
+
+func TestLongestPrefixWins(t *testing.T) {
+	f := newFixture(t)
+	f.resolver.Regions["W"] = ip.MustAddr("10.0.0.2")  // catch-all to west
+	f.resolver.Regions["W1"] = ip.MustAddr("10.0.0.3") // 1-land to east
+	addr, ok := f.resolver.ServerFor("W1GOH")
+	if !ok || addr != ip.MustAddr("10.0.0.3") {
+		t.Fatalf("ServerFor = %v", addr)
+	}
+	addr, _ = f.resolver.ServerFor("W6XYZ")
+	if addr != ip.MustAddr("10.0.0.2") {
+		t.Fatalf("catch-all = %v", addr)
+	}
+}
+
+func TestServerIgnoresGarbageQueries(t *testing.T) {
+	f := newFixture(t)
+	sock, err := f.client.Bind(0, func(ip.Addr, uint16, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sock.SendTo(ip.MustAddr("10.0.0.2"), Port, []byte("GIBBERISH"))
+	f.sched.RunFor(time.Second)
+	if f.west.Stats.Hits != 0 || f.west.Stats.Misses != 0 {
+		t.Fatalf("garbage processed: %+v", f.west.Stats)
+	}
+	_ = strings.ToUpper("")
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"packetradio/internal/acl"
+	"packetradio/internal/icmp"
+	"packetradio/internal/ip"
+	"packetradio/internal/ipstack"
+)
+
+// Gateway glues the pieces into the paper's §2 system: an IP stack
+// with forwarding enabled, an Ethernet interface on the Internet side,
+// the packet-radio pseudo-driver on the AMPRnet side, and (optionally)
+// the §4.3 access-control table screening Internet→radio traffic.
+//
+// The interface names are those the rest of the code uses to decide
+// which side of the gateway a packet is on.
+type Gateway struct {
+	Stack     *ipstack.Stack
+	Radio     *PacketRadioIf
+	RadioName string
+	EtherName string
+
+	// ACL, when non-nil, enforces §4.3. Amateur-originated traffic
+	// creates entries; Internet-originated traffic is screened.
+	ACL *acl.Table
+}
+
+// WireACL installs the access-control hooks on the gateway's stack.
+// Call after the stack, radio and ether interfaces are configured.
+func (g *Gateway) WireACL(table *acl.Table) {
+	g.ACL = table
+	g.Stack.Filter = g.filter
+	g.Stack.ICMPHook = g.icmpHook
+}
+
+// filter implements the table semantics: note amateur→Internet
+// traffic, screen Internet→amateur traffic.
+func (g *Gateway) filter(pkt *ip.Packet, inIf, outIf string) ipstack.FilterVerdict {
+	if g.ACL == nil {
+		return ipstack.VerdictAccept
+	}
+	switch {
+	case inIf == g.RadioName && outIf != g.RadioName:
+		g.ACL.NoteOutbound(pkt.Src, pkt.Dst)
+		return ipstack.VerdictAccept
+	case inIf != g.RadioName && outIf == g.RadioName:
+		if !g.ACL.Allowed(pkt.Src, pkt.Dst) {
+			return ipstack.VerdictReject
+		}
+	}
+	return ipstack.VerdictAccept
+}
+
+// icmpHook feeds gateway-authorization messages to the table; side is
+// judged by arrival interface ("if they come from the non-amateur
+// side, they must include a call sign and a password").
+func (g *Gateway) icmpHook(pkt *ip.Packet, m *icmp.Message, ifName string) bool {
+	if g.ACL == nil {
+		return false
+	}
+	return g.ACL.HandleICMP(m, ifName == g.RadioName)
+}

@@ -1,0 +1,227 @@
+// Package ether simulates the Ethernet side of the paper's gateway:
+// a 10 Mb/s broadcast segment and a DEQNA-like interface driver
+// ("This driver supports the same calls as the drivers for other
+// network devices such as the DEQNA"). ARP for IP-to-MAC resolution
+// runs inside the driver, matching the paper's layering.
+//
+// The segment model is intentionally simple — full-duplex, collision
+// free, per-sender serialization at the line rate — because nothing in
+// the paper's evaluation depends on Ethernet contention; it exists to
+// be four orders of magnitude faster than the 1200 bps radio channel,
+// which is what creates the §4.1 timeout mismatch.
+package ether
+
+import (
+	"fmt"
+	"time"
+
+	"packetradio/internal/arp"
+	"packetradio/internal/ip"
+	"packetradio/internal/netif"
+	"packetradio/internal/sim"
+)
+
+// MAC is an Ethernet hardware address.
+type MAC [6]byte
+
+// BroadcastMAC is ff:ff:ff:ff:ff:ff.
+var BroadcastMAC = MAC{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}
+
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// EtherTypes.
+const (
+	TypeIP  = 0x0800
+	TypeARP = 0x0806
+)
+
+// HeaderLen is destination + source + ethertype.
+const HeaderLen = 14
+
+// MTU is the Ethernet payload limit.
+const MTU = 1500
+
+// DefaultBitRate is 10 Mb/s ("thick" Ethernet of the era).
+const DefaultBitRate = 10_000_000
+
+// Segment is one Ethernet broadcast domain.
+type Segment struct {
+	sched   *sim.Scheduler
+	bitRate int
+	nics    []*NIC
+	nextMAC uint32
+
+	// Stats.
+	Frames uint64
+	Bytes  uint64
+}
+
+// NewSegment creates an Ethernet segment.
+func NewSegment(sched *sim.Scheduler, bitRate int) *Segment {
+	if bitRate <= 0 {
+		bitRate = DefaultBitRate
+	}
+	return &Segment{sched: sched, bitRate: bitRate, nextMAC: 1}
+}
+
+// txTime is the serialization delay for a frame of n payload bytes.
+func (g *Segment) txTime(n int) time.Duration {
+	bits := (n + HeaderLen + 12) * 8 // header + preamble/FCS overhead
+	return time.Duration(float64(bits) / float64(g.bitRate) * float64(time.Second))
+}
+
+// NIC is one attached interface; it implements netif.Interface.
+type NIC struct {
+	name  string
+	mac   MAC
+	seg   *Segment
+	stack Input
+	res   *arp.Resolver
+	up    bool
+	stats netif.Stats
+	mtu   int
+}
+
+// Input is where received IP datagrams go — the IP input queue hookup.
+type Input interface {
+	Input(buf []byte, ifName string)
+}
+
+// Attach creates a NIC on segment g with the given interface name and
+// IP identity, delivering received datagrams to stack.
+func (g *Segment) Attach(name string, addr ip.Addr, stack Input) *NIC {
+	var mac MAC
+	mac[0] = 0x08 // DEC OUI-ish prefix 08:00:2b
+	mac[1] = 0x00
+	mac[2] = 0x2B
+	mac[3] = byte(g.nextMAC >> 16)
+	mac[4] = byte(g.nextMAC >> 8)
+	mac[5] = byte(g.nextMAC)
+	g.nextMAC++
+	n := &NIC{name: name, mac: mac, seg: g, stack: stack, mtu: MTU}
+	n.res = arp.NewResolver(g.sched, arp.HTypeEthernet, mac[:], addr)
+	n.res.SendPacket = n.sendARP
+	n.res.Deliver = n.deliverIP
+	g.nics = append(g.nics, n)
+	return n
+}
+
+// Name implements netif.Interface.
+func (n *NIC) Name() string { return n.name }
+
+// MTU implements netif.Interface.
+func (n *NIC) MTU() int { return n.mtu }
+
+// Up implements netif.Interface.
+func (n *NIC) Up() bool { return n.up }
+
+// Init implements netif.Interface.
+func (n *NIC) Init() error { n.up = true; return nil }
+
+// Stats implements netif.Interface.
+func (n *NIC) Stats() *netif.Stats { return &n.stats }
+
+// MAC reports the hardware address.
+func (n *NIC) MAC() MAC { return n.mac }
+
+// Resolver exposes the driver's ARP engine (for static entries and
+// stats in experiments).
+func (n *NIC) Resolver() *arp.Resolver { return n.res }
+
+// Output implements netif.Interface: resolve nextHop via ARP inside
+// the driver, then frame and transmit.
+func (n *NIC) Output(pkt *ip.Packet, nextHop ip.Addr) error {
+	if !n.up {
+		n.stats.Oerrors++
+		return &netif.ErrDown{If: n.name}
+	}
+	if nextHop.IsBroadcast() {
+		buf, err := pkt.Marshal()
+		if err != nil {
+			n.stats.Oerrors++
+			return err
+		}
+		n.transmit(BroadcastMAC, TypeIP, buf)
+		return nil
+	}
+	n.res.Enqueue(pkt, nextHop)
+	return nil
+}
+
+func (n *NIC) deliverIP(pkt *ip.Packet, dstHW []byte) {
+	buf, err := pkt.Marshal()
+	if err != nil {
+		n.stats.Oerrors++
+		return
+	}
+	var dst MAC
+	copy(dst[:], dstHW)
+	n.transmit(dst, TypeIP, buf)
+}
+
+func (n *NIC) sendARP(p *arp.Packet, dstHW []byte) {
+	buf, err := p.Marshal()
+	if err != nil {
+		return
+	}
+	dst := BroadcastMAC
+	if dstHW != nil {
+		copy(dst[:], dstHW)
+	}
+	n.transmit(dst, TypeARP, buf)
+}
+
+func (n *NIC) transmit(dst MAC, etherType uint16, payload []byte) {
+	n.stats.Opackets++
+	n.stats.Obytes += uint64(len(payload))
+	frame := make([]byte, HeaderLen+len(payload))
+	copy(frame[0:6], dst[:])
+	copy(frame[6:12], n.mac[:])
+	frame[12] = byte(etherType >> 8)
+	frame[13] = byte(etherType)
+	copy(frame[14:], payload)
+
+	g := n.seg
+	g.Frames++
+	g.Bytes += uint64(len(frame))
+	delay := g.txTime(len(payload))
+	for _, other := range g.nics {
+		if other == n {
+			continue
+		}
+		o := other
+		g.sched.After(delay, func() { o.receive(frame) })
+	}
+}
+
+func (n *NIC) receive(frame []byte) {
+	if !n.up || len(frame) < HeaderLen {
+		return
+	}
+	var dst MAC
+	copy(dst[:], frame[0:6])
+	if dst != n.mac && dst != BroadcastMAC {
+		return // not promiscuous
+	}
+	etherType := uint16(frame[12])<<8 | uint16(frame[13])
+	payload := frame[HeaderLen:]
+	n.stats.Ipackets++
+	n.stats.Ibytes += uint64(len(payload))
+	switch etherType {
+	case TypeIP:
+		if n.stack != nil {
+			n.stack.Input(payload, n.name)
+		}
+	case TypeARP:
+		p, err := arp.Unmarshal(payload)
+		if err != nil {
+			n.stats.Ierrors++
+			return
+		}
+		n.res.Input(p)
+	default:
+		n.stats.NoProto++
+	}
+}

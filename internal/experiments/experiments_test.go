@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// These tests assert the *shape* of each reproduced result — who wins,
+// by roughly what factor, where the crossovers fall — which is what
+// EXPERIMENTS.md commits to.
+
+func TestF1StagesExplainOneWayLatency(t *testing.T) {
+	r := F1(io.Discard)
+	oneWay := r.Get("one_way_ms")
+	sum := r.Get("stage_sum_ms")
+	if oneWay <= 0 || sum <= 0 {
+		t.Fatalf("missing metrics: %+v", r.Metrics)
+	}
+	// The analytic stages must account for most of the measured time
+	// (the remainder is CSMA persistence and per-byte rounding).
+	if sum > oneWay || sum < 0.5*oneWay {
+		t.Fatalf("stage sum %.0fms vs measured %.0fms", sum, oneWay)
+	}
+	// Airtime must be the single largest component (the §3 claim).
+	if r.Get("airtime_ms") < 0.4*sum {
+		t.Fatalf("airtime %.0fms is not dominant in %.0fms", r.Get("airtime_ms"), sum)
+	}
+}
+
+func TestF2KeystrokeOverheadIsBrutal(t *testing.T) {
+	r := F2(io.Discard)
+	if r.Get("keystroke_onair_bytes") < 55 {
+		t.Fatalf("keystroke bytes = %.0f", r.Get("keystroke_onair_bytes"))
+	}
+	if eff := r.Get("block_efficiency_pct"); eff < 70 || eff > 90 {
+		t.Fatalf("block efficiency = %.1f%%", eff)
+	}
+}
+
+func TestE1TransmissionTimeDominatesAt1200(t *testing.T) {
+	r := E1(io.Discard)
+	// At 1200 bps a 256-byte ping's RTT is mostly airtime...
+	if share := r.Get("airtime_share_1200_256"); share < 0.35 {
+		t.Fatalf("airtime share at 1200 bps = %.2f, want dominant", share)
+	}
+	// ...and raising the link speed collapses the RTT.
+	if r.Get("rtt_1200_256_ms") < 1.5*r.Get("rtt_9600_256_ms") {
+		t.Fatalf("1200 bps RTT %.0fms not much slower than 9600 %.0fms",
+			r.Get("rtt_1200_256_ms"), r.Get("rtt_9600_256_ms"))
+	}
+}
+
+func TestE2PromiscuousTNCSlowsGateway(t *testing.T) {
+	r := E2(io.Discard)
+	// At 60% background load the promiscuous gateway must be far
+	// slower than the filtered one (the §3 observation + fix).
+	prom := r.Get("rtt_s_load60_promiscuous")
+	filt := r.Get("rtt_s_load60_filtered")
+	if prom < 2*filt {
+		t.Fatalf("promiscuous %.1fs vs filtered %.1fs at 60%% load: no slowdown", prom, filt)
+	}
+	if r.Get("drops_load60_promiscuous") == 0 {
+		t.Fatal("no TNC drops in promiscuous mode at 60% load")
+	}
+	if r.Get("drops_load60_filtered") != 0 {
+		t.Fatal("filtered mode dropped frames")
+	}
+	// Idle channel: both modes equal.
+	if r.Get("rtt_s_load0_promiscuous") != r.Get("rtt_s_load0_filtered") {
+		t.Fatal("modes differ on an idle channel")
+	}
+}
+
+func TestE3AdaptiveRTOBeatsFixed(t *testing.T) {
+	r := E3(io.Discard)
+	if r.Get("dup_bytes_fixed-1.5s") <= r.Get("dup_bytes_adaptive") {
+		t.Fatalf("fixed RTO wasted %.0fB vs adaptive %.0fB: no pathology",
+			r.Get("dup_bytes_fixed-1.5s"), r.Get("dup_bytes_adaptive"))
+	}
+	if r.Get("rexmit_fixed-1.5s") <= r.Get("rexmit_adaptive") {
+		t.Fatal("fixed RTO did not retransmit more")
+	}
+	if r.Get("time_s_adaptive") > r.Get("time_s_fixed-1.5s") {
+		t.Fatal("adaptive transfer slower than fixed")
+	}
+}
+
+func TestE4SingleRouteStretch(t *testing.T) {
+	r := E4(io.Discard)
+	if r.Get("stretch") < 1.15 {
+		t.Fatalf("path stretch = %.2f, want > 1.15", r.Get("stretch"))
+	}
+}
+
+func TestE5ACLLifecycle(t *testing.T) {
+	r := E5(io.Discard)
+	if r.Get("lifecycle_correct") != 1 {
+		t.Fatal("§4.3 life cycle did not behave as specified")
+	}
+	if r.Get("blocked_total") < 3 {
+		t.Fatalf("blocked = %.0f", r.Get("blocked_total"))
+	}
+}
+
+func TestE6LatencyGrowsPerHop(t *testing.T) {
+	r := E6(io.Discard)
+	prev := 0.0
+	for _, k := range []string{"rtt_s_0digis", "rtt_s_1digis", "rtt_s_2digis", "rtt_s_4digis", "rtt_s_8digis"} {
+		v := r.Get(k)
+		if v == 0 {
+			t.Fatalf("%s missing (ping lost)", k)
+		}
+		if v <= prev {
+			t.Fatalf("%s = %.1fs not greater than previous %.1fs", k, v, prev)
+		}
+		prev = v
+	}
+	// Eight hops must cost several times the direct path.
+	if r.Get("rtt_s_8digis") < 4*r.Get("rtt_s_0digis") {
+		t.Fatal("8-digi path suspiciously cheap")
+	}
+}
+
+func TestE7ColdARPCostsOneExchange(t *testing.T) {
+	r := E7(io.Discard)
+	if r.Get("cold_rtt_s") <= r.Get("warm_rtt_s") {
+		t.Fatal("cold resolution not slower than warm")
+	}
+	if r.Get("arp_requests") != 2 {
+		t.Fatalf("ARP requests = %.0f, want 2 (cold + after expiry)", r.Get("arp_requests"))
+	}
+}
+
+func TestE8BackboneCarriesIP(t *testing.T) {
+	r := E8(io.Discard)
+	if r.Get("cross_rtt_s") == 0 {
+		t.Fatal("cross-coast ping lost")
+	}
+	if r.Get("convergence_s") <= 0 || r.Get("convergence_s") > 600 {
+		t.Fatalf("convergence = %.0fs", r.Get("convergence_s"))
+	}
+	if r.Get("mid_forwards") == 0 {
+		t.Fatal("mid node never forwarded")
+	}
+	if r.Get("cross_rtt_s") < 3*r.Get("local_rtt_s") {
+		t.Fatal("four-radio-hop path suspiciously cheap")
+	}
+}
+
+func TestE9AllServicesWork(t *testing.T) {
+	r := E9(io.Discard)
+	if r.Get("smtp_out_ok") != 1 || r.Get("smtp_in_ok") != 1 {
+		t.Fatal("SMTP failed in some direction")
+	}
+	if r.Get("telnet_echo_s") <= 0 || r.Get("telnet_echo_s") > 60 {
+		t.Fatalf("telnet echo = %.1fs", r.Get("telnet_echo_s"))
+	}
+	if r.Get("ftp_goodput_bps") <= 0 || r.Get("ftp_goodput_bps") > 1200 {
+		t.Fatalf("ftp goodput = %.0f bit/s (must fit the 1200 bps channel)", r.Get("ftp_goodput_bps"))
+	}
+}
+
+func TestE10CSMASaturates(t *testing.T) {
+	r := E10(io.Discard)
+	// Light load passes through...
+	if g := r.Get("goodput_at_10"); g < 0.08 || g > 0.13 {
+		t.Fatalf("goodput at 10%% offered = %.2f", g)
+	}
+	// ...but the channel caps out well below 100%.
+	if g := r.Get("goodput_at_120"); g > 0.95 {
+		t.Fatalf("goodput at 120%% offered = %.2f, no saturation", g)
+	}
+	if r.Get("goodput_at_120") < r.Get("goodput_at_10") {
+		t.Fatal("goodput collapsed below light-load level")
+	}
+}
+
+func TestRunAllProducesReadableReport(t *testing.T) {
+	var sb strings.Builder
+	results := RunAll(&sb)
+	if len(results) != 12 {
+		t.Fatalf("got %d results", len(results))
+	}
+	out := sb.String()
+	for _, id := range []string{"F1", "F2a", "F2b", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"} {
+		if !strings.Contains(out, "== "+id) {
+			t.Fatalf("report missing section %s", id)
+		}
+	}
+}

@@ -1,0 +1,306 @@
+// Package ftp implements the file-transfer service used across the
+// paper's gateway ("Since then we have used the gateway for file
+// transfer ... in both directions"). It is a deliberately small subset
+// of FTP running on one TCP connection: USER/PASS, RETR and STOR with
+// byte counts framing the data phase, and QUIT. The single-connection
+// framing (rather than a second data connection) keeps the protocol
+// analyzable in the experiments while exercising exactly the same
+// bulk-transfer TCP path.
+package ftp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"packetradio/internal/ip"
+	"packetradio/internal/tcp"
+)
+
+// Port is the control port.
+const Port = 21
+
+// FS is the server's in-memory file store.
+type FS map[string][]byte
+
+// Server is an FTP daemon.
+type Server struct {
+	Hostname string
+	Files    FS
+
+	Stats struct {
+		Sessions  uint64
+		Retrieved uint64
+		Stored    uint64
+		BytesOut  uint64
+		BytesIn   uint64
+	}
+}
+
+type serverSession struct {
+	srv  *Server
+	conn *tcp.Conn
+	line []byte
+
+	// Data-phase state for STOR.
+	storName string
+	storWant int
+	storBuf  []byte
+}
+
+// Serve starts the daemon.
+func Serve(tp *tcp.Proto, srv *Server) error {
+	if srv.Files == nil {
+		srv.Files = make(FS)
+	}
+	_, err := tp.Listen(Port, func(c *tcp.Conn) {
+		srv.Stats.Sessions++
+		s := &serverSession{srv: srv, conn: c}
+		c.OnData = s.input
+		c.OnPeerClose = func() { c.Close() }
+		s.reply("220 %s FTP server (simulated Ultrix) ready.", srv.Hostname)
+	})
+	return err
+}
+
+func (s *serverSession) reply(format string, args ...any) {
+	s.conn.Send([]byte(fmt.Sprintf(format, args...) + "\r\n"))
+}
+
+func (s *serverSession) input(p []byte) {
+	// If a STOR data phase is active, bytes are file content.
+	for len(p) > 0 {
+		if s.storWant > 0 {
+			n := len(p)
+			if n > s.storWant {
+				n = s.storWant
+			}
+			s.storBuf = append(s.storBuf, p[:n]...)
+			s.storWant -= n
+			s.srv.Stats.BytesIn += uint64(n)
+			p = p[n:]
+			if s.storWant == 0 {
+				s.srv.Files[s.storName] = s.storBuf
+				s.srv.Stats.Stored++
+				s.storBuf = nil
+				s.reply("226 Transfer complete.")
+			}
+			continue
+		}
+		b := p[0]
+		p = p[1:]
+		if b == '\n' {
+			line := strings.TrimRight(string(s.line), "\r")
+			s.line = s.line[:0]
+			if line != "" {
+				s.command(line)
+			}
+			continue
+		}
+		s.line = append(s.line, b)
+	}
+}
+
+func (s *serverSession) command(line string) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return
+	}
+	cmd := strings.ToUpper(fields[0])
+	arg := ""
+	if len(fields) > 1 {
+		arg = fields[1]
+	}
+	switch cmd {
+	case "USER":
+		s.reply("331 Password required.")
+	case "PASS":
+		s.reply("230 User logged in.")
+	case "TYPE":
+		s.reply("200 Type set to I.")
+	case "LIST", "NLST":
+		var names []string
+		for name := range s.srv.Files {
+			names = append(names, name)
+		}
+		s.reply("150 Here comes the directory listing.")
+		for _, n := range names {
+			s.reply("%s", n)
+		}
+		s.reply("226 Directory send OK.")
+	case "RETR":
+		data, ok := s.srv.Files[arg]
+		if !ok {
+			s.reply("550 %s: No such file.", arg)
+			return
+		}
+		s.srv.Stats.Retrieved++
+		s.srv.Stats.BytesOut += uint64(len(data))
+		s.reply("150 Opening data stream for %s (%d bytes).", arg, len(data))
+		s.conn.Send(data)
+		s.reply("226 Transfer complete.")
+	case "STOR":
+		if len(fields) < 3 {
+			s.reply("501 STOR <name> <bytes>.")
+			return
+		}
+		n, err := strconv.Atoi(fields[2])
+		if err != nil || n < 0 {
+			s.reply("501 Bad byte count.")
+			return
+		}
+		s.storName = arg
+		s.storWant = n
+		s.storBuf = make([]byte, 0, n)
+		s.reply("150 Ready for %d bytes of %s.", n, arg)
+		if n == 0 {
+			s.srv.Files[arg] = nil
+			s.srv.Stats.Stored++
+			s.reply("226 Transfer complete.")
+		}
+	case "QUIT":
+		s.reply("221 Goodbye.")
+		s.conn.Close()
+	default:
+		s.reply("502 %s not implemented.", cmd)
+	}
+}
+
+// --- Client ----------------------------------------------------------------
+
+// Client drives an FTP session programmatically: queue operations, then
+// watch completion via the callbacks.
+type Client struct {
+	// OnComplete fires when the queued script is done (after QUIT).
+	OnComplete func()
+
+	conn    *tcp.Conn
+	lineBuf []byte
+
+	// Current RETR state.
+	retrWant int
+	retrBuf  []byte
+	retrName string
+	gotFiles map[string][]byte
+
+	script []step
+	logged bool
+}
+
+type step struct {
+	send    string
+	expect  string // reply prefix that advances the script
+	payload []byte // sent after a 150 reply to STOR
+}
+
+// Dial connects to the server at addr.
+func Dial(tp *tcp.Proto, addr ip.Addr) *Client {
+	c := &Client{gotFiles: make(map[string][]byte)}
+	c.conn = tp.Dial(addr, Port)
+	c.conn.OnData = c.input
+	c.conn.OnPeerClose = func() { c.conn.Close() }
+	c.script = append(c.script,
+		step{send: "USER anonymous", expect: "331"},
+		step{send: "PASS guest", expect: "230"},
+	)
+	return c
+}
+
+// Get queues a file retrieval.
+func (c *Client) Get(name string) {
+	c.script = append(c.script, step{send: "RETR " + name, expect: "226"})
+}
+
+// Put queues a file upload.
+func (c *Client) Put(name string, data []byte) {
+	c.script = append(c.script, step{
+		send:    fmt.Sprintf("STOR %s %d", name, len(data)),
+		expect:  "226",
+		payload: data,
+	})
+}
+
+// Quit queues the goodbye.
+func (c *Client) Quit() {
+	c.script = append(c.script, step{send: "QUIT", expect: "221"})
+}
+
+// File returns a retrieved file's content.
+func (c *Client) File(name string) ([]byte, bool) {
+	d, ok := c.gotFiles[name]
+	return d, ok
+}
+
+func (c *Client) input(p []byte) {
+	for len(p) > 0 {
+		if c.retrWant > 0 {
+			n := len(p)
+			if n > c.retrWant {
+				n = c.retrWant
+			}
+			c.retrBuf = append(c.retrBuf, p[:n]...)
+			c.retrWant -= n
+			p = p[n:]
+			if c.retrWant == 0 {
+				c.gotFiles[c.retrName] = c.retrBuf
+				c.retrBuf = nil
+			}
+			continue
+		}
+		b := p[0]
+		p = p[1:]
+		if b == '\n' {
+			line := strings.TrimRight(string(c.lineBuf), "\r")
+			c.lineBuf = c.lineBuf[:0]
+			if line != "" {
+				c.reply(line)
+			}
+			continue
+		}
+		c.lineBuf = append(c.lineBuf, b)
+	}
+}
+
+func (c *Client) reply(line string) {
+	// The 220 greeting kicks the script off.
+	if strings.HasPrefix(line, "220") && !c.logged {
+		c.logged = true
+		c.advance()
+		return
+	}
+	// A 150 for RETR announces the byte count; switch to data phase.
+	if strings.HasPrefix(line, "150 Opening data stream") {
+		var name string
+		var n int
+		fmt.Sscanf(line, "150 Opening data stream for %s (%d bytes).", &name, &n)
+		c.retrName = name
+		c.retrWant = n
+		c.retrBuf = make([]byte, 0, n)
+		if n == 0 {
+			c.gotFiles[name] = nil
+		}
+		return
+	}
+	// A 150 for STOR means send the payload now.
+	if strings.HasPrefix(line, "150 Ready for") && len(c.script) > 0 && c.script[0].payload != nil {
+		c.conn.Send(c.script[0].payload)
+		return
+	}
+	if len(c.script) > 0 && strings.HasPrefix(line, c.script[0].expect) {
+		c.script = c.script[1:]
+		c.advance()
+	}
+}
+
+func (c *Client) advance() {
+	if len(c.script) == 0 {
+		if c.OnComplete != nil {
+			c.OnComplete()
+		}
+		return
+	}
+	c.conn.Send([]byte(c.script[0].send + "\r\n"))
+	if c.script[0].send == "QUIT" {
+		// The 221 will advance us to completion.
+	}
+}

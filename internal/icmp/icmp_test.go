@@ -1,0 +1,161 @@
+package icmp
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"packetradio/internal/ip"
+)
+
+func TestEchoRoundTrip(t *testing.T) {
+	m := NewEcho(0x1234, 7, []byte("ping payload"))
+	buf := m.Marshal()
+	got, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != TypeEcho || got.ID != 0x1234 || got.Seq != 7 || !bytes.Equal(got.Body, m.Body) {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestEchoReplyEchoesBody(t *testing.T) {
+	req := NewEcho(1, 2, []byte("abc"))
+	rep := NewEchoReply(req)
+	if rep.Type != TypeEchoReply || rep.ID != 1 || rep.Seq != 2 || !bytes.Equal(rep.Body, req.Body) {
+		t.Fatalf("reply: %+v", rep)
+	}
+}
+
+func TestChecksumValidation(t *testing.T) {
+	buf := NewEcho(1, 1, []byte("x")).Marshal()
+	buf[8] ^= 0xFF
+	if _, err := Unmarshal(buf); err == nil {
+		t.Fatal("corrupted message accepted")
+	}
+	if _, err := Unmarshal(buf[:4]); err == nil {
+		t.Fatal("short message accepted")
+	}
+}
+
+func TestErrorQuotesOffendingDatagram(t *testing.T) {
+	off := &ip.Packet{
+		Header: ip.Header{
+			ID: 9, TTL: 1, Proto: ip.ProtoTCP,
+			Src: ip.MustAddr("128.95.1.2"), Dst: ip.MustAddr("44.24.0.5"),
+		},
+		Payload: []byte("0123456789ABCDEF"), // only first 8 quoted
+	}
+	m := NewError(TypeTimeExceeded, CodeTTLExceeded, off)
+	buf := m.Marshal()
+	got, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, ok := QuotedHeader(got)
+	if !ok {
+		t.Fatal("quoted header unparseable")
+	}
+	if q.Src != off.Src || q.Dst != off.Dst || q.Proto != off.Proto || q.ID != off.ID {
+		t.Fatalf("quoted header mismatch: %+v", q)
+	}
+	if len(q.Payload) != 8 || !bytes.Equal(q.Payload, []byte("01234567")) {
+		t.Fatalf("quoted payload = %q, want first 8 bytes", q.Payload)
+	}
+}
+
+func TestQuotedHeaderRejectsGarbage(t *testing.T) {
+	m := &Message{Type: TypeDestUnreachable, Body: []byte{1, 2, 3}}
+	if _, ok := QuotedHeader(m); ok {
+		t.Fatal("garbage body accepted as quoted header")
+	}
+}
+
+func TestAuthPayloadRoundTrip(t *testing.T) {
+	p := &AuthPayload{
+		TTLSeconds: 600,
+		Amateur:    ip.MustAddr("44.24.0.5"),
+		NonAmateur: ip.MustAddr("128.95.1.2"),
+		Callsign:   "N7AKR",
+		Password:   "s3cret",
+	}
+	m := NewAuthAdd(p)
+	if m.Type != TypeGatewayAuthAdd {
+		t.Fatalf("type = %d", m.Type)
+	}
+	buf := m.Marshal()
+	got, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := UnmarshalAuth(got.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *q != *p {
+		t.Fatalf("auth round trip: %+v != %+v", q, p)
+	}
+}
+
+func TestAuthDelType(t *testing.T) {
+	m := NewAuthDel(&AuthPayload{Callsign: "KB7DZ"})
+	if m.Type != TypeGatewayAuthDel {
+		t.Fatalf("type = %d", m.Type)
+	}
+}
+
+func TestUnmarshalAuthShort(t *testing.T) {
+	if _, err := UnmarshalAuth(make([]byte, 10)); err == nil {
+		t.Fatal("short auth payload accepted")
+	}
+}
+
+func TestAuthFieldTruncation(t *testing.T) {
+	p := &AuthPayload{Callsign: "TOOLONGCALLSIGN", Password: "averyverylongpassword"}
+	q, err := UnmarshalAuth(p.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Callsign) != CallsignLen || len(q.Password) != PasswordLen {
+		t.Fatalf("fields not truncated: %q %q", q.Callsign, q.Password)
+	}
+}
+
+func TestMessageStrings(t *testing.T) {
+	cases := map[string]*Message{
+		"icmp echo id=1 seq=2":       NewEcho(1, 2, nil),
+		"icmp echo-reply id=1 seq=2": {Type: TypeEchoReply, ID: 1, Seq: 2},
+		"icmp unreachable code=1":    {Type: TypeDestUnreachable, Code: 1},
+		"icmp time-exceeded code=0":  {Type: TypeTimeExceeded},
+		"icmp redirect code=1":       {Type: TypeRedirect, Code: 1},
+		"icmp gateway-auth-add":      {Type: TypeGatewayAuthAdd},
+		"icmp gateway-auth-del":      {Type: TypeGatewayAuthDel},
+		"icmp type=42 code=3":        {Type: 42, Code: 3},
+	}
+	for want, m := range cases {
+		if got := m.String(); got != want {
+			t.Fatalf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestQuickMessageRoundTrip(t *testing.T) {
+	f := func(typ, code uint8, id, seq uint16, body []byte) bool {
+		m := &Message{Type: typ, Code: code, ID: id, Seq: seq, Body: body}
+		got, err := Unmarshal(m.Marshal())
+		if err != nil {
+			return false
+		}
+		if got.Type != typ || got.Code != code || !bytes.Equal(got.Body, body) {
+			return false
+		}
+		if typ == TypeEcho || typ == TypeEchoReply {
+			return got.ID == id && got.Seq == seq
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

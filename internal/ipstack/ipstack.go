@@ -1,0 +1,524 @@
+// Package ipstack is the miniature 4.3BSD/Ultrix IP engine the paper's
+// driver hands packets to ("the driver then adds the encapsulated IP
+// packet to the queue of incoming IP packets so that it can be dealt
+// with by the existing Ultrix software"): input validation, local
+// delivery with reassembly, transport demultiplexing, ICMP, and — when
+// Forwarding is enabled, as on the paper's MicroVAX gateway —
+// forwarding with TTL handling, fragmentation to the outgoing MTU,
+// redirects, and a pluggable forwarding filter used by the §4.3 access
+// control table.
+package ipstack
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"packetradio/internal/icmp"
+	"packetradio/internal/ip"
+	"packetradio/internal/netif"
+	"packetradio/internal/route"
+	"packetradio/internal/sim"
+)
+
+// Handler processes a transport-layer segment: the full datagram is
+// passed so the transport can see addresses for its pseudo-header.
+type Handler func(pkt *ip.Packet, ifName string)
+
+// FilterVerdict is a forwarding filter's decision.
+type FilterVerdict int
+
+const (
+	VerdictAccept FilterVerdict = iota
+	VerdictDrop                 // drop silently
+	VerdictReject               // drop and return ICMP admin-prohibited
+)
+
+// Filter inspects a packet being forwarded from inIf to outIf.
+type Filter func(pkt *ip.Packet, inIf, outIf string) FilterVerdict
+
+// Stats counts stack-level events (a slice of ipstat).
+type Stats struct {
+	Received     uint64
+	BadPackets   uint64
+	Delivered    uint64
+	Forwarded    uint64
+	TTLDrops     uint64
+	NoRoute      uint64
+	FilterDrops  uint64
+	OutRequests  uint64
+	FragsOut     uint64
+	Reassembled  uint64
+	RedirectsOut uint64
+	RedirectsIn  uint64
+	NoProto      uint64
+	EchoReplies  uint64
+	ICMPIn       uint64
+	ICMPOut      uint64
+}
+
+type ifEntry struct {
+	ifc  netif.Interface
+	addr ip.Addr
+	mask ip.Mask
+}
+
+// Stack is one host's (or gateway's) IP layer.
+type Stack struct {
+	Hostname string
+	Sched    *sim.Scheduler
+
+	// Forwarding enables gatewaying between interfaces (ipforwarding).
+	Forwarding bool
+
+	// Routes is the kernel routing table.
+	Routes *route.Table
+
+	// Filter, when non-nil, screens every forwarded packet (the §4.3
+	// access-control hook).
+	Filter Filter
+
+	// ICMPHook, when non-nil, sees every locally delivered ICMP
+	// message before standard processing; returning true consumes it.
+	// The gateway authorization messages are handled here.
+	ICMPHook func(pkt *ip.Packet, m *icmp.Message, ifName string) bool
+
+	// AcceptRedirects lets ICMP redirects install host routes — the
+	// mechanism §4.2 suggests for steering traffic to regional
+	// gateways ("It is conceivable that something like this could be
+	// handled using [ICMP]"). Hosts of the era accepted them; off by
+	// default here so tests opt in explicitly.
+	AcceptRedirects bool
+
+	// Tap, when non-nil, observes every packet at input, output and
+	// forward time ("in", "out", "fwd").
+	Tap func(dir string, pkt *ip.Packet, ifName string)
+
+	Stats Stats
+
+	ifs       map[string]*ifEntry
+	order     []string
+	protos    map[uint8]Handler
+	protoErrs map[uint8]func(dst ip.Addr, m *icmp.Message)
+	reass     *ip.Reassembler
+	reassTick *sim.Event
+	nextID    uint16
+
+	pings map[uint16]*pingCtx
+}
+
+// New builds a stack.
+func New(sched *sim.Scheduler, hostname string) *Stack {
+	return &Stack{
+		Hostname:  hostname,
+		Sched:     sched,
+		Routes:    route.New(),
+		ifs:       make(map[string]*ifEntry),
+		protos:    make(map[uint8]Handler),
+		protoErrs: make(map[uint8]func(ip.Addr, *icmp.Message)),
+		reass:     ip.NewReassembler(),
+		pings:     make(map[uint16]*pingCtx),
+		nextID:    1,
+	}
+}
+
+// AddInterface attaches a configured interface and installs the
+// connected-network route.
+func (s *Stack) AddInterface(ifc netif.Interface, addr ip.Addr, mask ip.Mask) {
+	if mask == (ip.Mask{}) {
+		mask = ip.ClassMask(addr)
+	}
+	s.ifs[ifc.Name()] = &ifEntry{ifc: ifc, addr: addr, mask: mask}
+	s.order = append(s.order, ifc.Name())
+	s.Routes.AddNet(addr, mask, ip.Addr{}, ifc.Name())
+}
+
+// Interface returns a registered interface by name.
+func (s *Stack) Interface(name string) (netif.Interface, bool) {
+	e, ok := s.ifs[name]
+	if !ok {
+		return nil, false
+	}
+	return e.ifc, true
+}
+
+// IfAddr reports the address of the named interface.
+func (s *Stack) IfAddr(name string) (ip.Addr, ip.Mask, bool) {
+	e, ok := s.ifs[name]
+	if !ok {
+		return ip.Addr{}, ip.Mask{}, false
+	}
+	return e.addr, e.mask, true
+}
+
+// Addr returns the stack's primary address (first interface).
+func (s *Stack) Addr() ip.Addr {
+	if len(s.order) == 0 {
+		return ip.Addr{}
+	}
+	return s.ifs[s.order[0]].addr
+}
+
+// RegisterProto installs the transport handler for an IP protocol.
+func (s *Stack) RegisterProto(proto uint8, h Handler) { s.protos[proto] = h }
+
+// RegisterProtoError installs a handler for ICMP errors quoting a
+// datagram of the given protocol (how TCP learns of unreachables).
+func (s *Stack) RegisterProtoError(proto uint8, h func(dst ip.Addr, m *icmp.Message)) {
+	s.protoErrs[proto] = h
+}
+
+// isLocal reports whether dst is one of our addresses or a broadcast
+// we should accept.
+func (s *Stack) isLocal(dst ip.Addr) bool {
+	if dst.IsBroadcast() || dst == ip.Loopback {
+		return true
+	}
+	for _, e := range s.ifs {
+		if dst == e.addr {
+			return true
+		}
+		// Directed broadcast for a connected net.
+		bcast := e.addr
+		for i := range bcast {
+			bcast[i] |= ^e.mask[i]
+		}
+		if dst == bcast {
+			return true
+		}
+	}
+	return false
+}
+
+// Input is the driver entry point: a validated-length raw datagram
+// received on ifName. Equivalent to ipintr picking packets off the IP
+// input queue.
+func (s *Stack) Input(buf []byte, ifName string) {
+	s.Stats.Received++
+	pkt, err := ip.Unmarshal(buf)
+	if err != nil {
+		s.Stats.BadPackets++
+		return
+	}
+	if s.Tap != nil {
+		s.Tap("in", pkt, ifName)
+	}
+	if s.isLocal(pkt.Dst) {
+		s.deliver(pkt, ifName)
+		return
+	}
+	if !s.Forwarding {
+		// Hosts silently discard transit traffic.
+		return
+	}
+	s.forward(pkt, ifName)
+}
+
+func (s *Stack) deliver(pkt *ip.Packet, ifName string) {
+	// Reassemble fragments first.
+	if pkt.MF || pkt.FragOff > 0 {
+		s.scheduleReassemblyExpiry()
+		pkt = s.reass.Add(pkt.Clone(), s.Sched.Now().Duration())
+		if pkt == nil {
+			return
+		}
+		s.Stats.Reassembled++
+	}
+	s.Stats.Delivered++
+	if pkt.Proto == ip.ProtoICMP {
+		s.icmpInput(pkt, ifName)
+		return
+	}
+	if h, ok := s.protos[pkt.Proto]; ok {
+		h(pkt, ifName)
+		return
+	}
+	s.Stats.NoProto++
+	s.sendICMPError(icmp.TypeDestUnreachable, icmp.CodeProtoUnreachable, pkt)
+}
+
+func (s *Stack) scheduleReassemblyExpiry() {
+	if s.reassTick != nil && !s.reassTick.Cancelled() {
+		return
+	}
+	s.reassTick = s.Sched.After(s.reass.Timeout, func() {
+		s.reass.Expire(s.Sched.Now().Duration())
+		if s.reass.PendingCount() > 0 {
+			s.reassTick = nil
+			s.scheduleReassemblyExpiry()
+		}
+	})
+}
+
+func (s *Stack) forward(pkt *ip.Packet, inIf string) {
+	if pkt.TTL <= 1 {
+		s.Stats.TTLDrops++
+		s.sendICMPError(icmp.TypeTimeExceeded, icmp.CodeTTLExceeded, pkt)
+		return
+	}
+	ent, err := s.Routes.Lookup(pkt.Dst)
+	if err != nil {
+		s.Stats.NoRoute++
+		s.sendICMPError(icmp.TypeDestUnreachable, icmp.CodeNetUnreachable, pkt)
+		return
+	}
+	if s.Filter != nil {
+		switch s.Filter(pkt, inIf, ent.IfName) {
+		case VerdictDrop:
+			s.Stats.FilterDrops++
+			return
+		case VerdictReject:
+			s.Stats.FilterDrops++
+			s.sendICMPError(icmp.TypeDestUnreachable, icmp.CodeAdminProhibited, pkt)
+			return
+		}
+	}
+	fwd := pkt.Clone()
+	fwd.TTL--
+	// 4.3BSD ip_forward sends a redirect when the packet leaves by the
+	// interface it arrived on and the source is on that network — the
+	// mechanism §4.2 suggests could steer regional gateway selection.
+	if ent.IfName == inIf {
+		if e, ok := s.ifs[inIf]; ok && ip.SameNet(pkt.Src, e.addr, e.mask) && !ent.Gateway.IsZero() {
+			s.Stats.RedirectsOut++
+			m := icmp.NewError(icmp.TypeRedirect, 1, pkt) // host redirect
+			m.Gateway = ent.Gateway
+			s.sendICMP(pkt.Src, m)
+		}
+	}
+	s.transmit(fwd, ent, "fwd", inIf)
+	s.Stats.Forwarded++
+}
+
+// transmit routes are resolved; fragment and hand to the driver.
+func (s *Stack) transmit(pkt *ip.Packet, ent *route.Entry, dir, ifName string) {
+	e, ok := s.ifs[ent.IfName]
+	if !ok {
+		s.Stats.NoRoute++
+		return
+	}
+	nextHop := pkt.Dst
+	if ent.Flags&route.FlagGateway != 0 {
+		nextHop = ent.Gateway
+	}
+	frags, err := ip.Fragment(pkt, e.ifc.MTU())
+	if err != nil {
+		if errors.Is(err, ip.ErrFragmentDF) {
+			s.sendICMPError(icmp.TypeDestUnreachable, icmp.CodeFragNeeded, pkt)
+		}
+		return
+	}
+	if len(frags) > 1 {
+		s.Stats.FragsOut += uint64(len(frags))
+	}
+	for _, f := range frags {
+		if s.Tap != nil {
+			s.Tap(dir, f, e.ifc.Name())
+		}
+		if err := e.ifc.Output(f, nextHop); err != nil {
+			e.ifc.Stats().Oerrors++
+		}
+	}
+}
+
+// Send originates a datagram from this host. A zero src selects the
+// outgoing interface's address. Local destinations loop back without
+// touching a driver.
+func (s *Stack) Send(proto uint8, src, dst ip.Addr, payload []byte, ttl uint8, tos uint8) error {
+	s.Stats.OutRequests++
+	if ttl == 0 {
+		ttl = ip.DefaultTTL
+	}
+	pkt := &ip.Packet{
+		Header: ip.Header{
+			TOS: tos, ID: s.allocID(), TTL: ttl, Proto: proto, Src: src, Dst: dst,
+		},
+		Payload: payload,
+	}
+	if dst.IsBroadcast() {
+		// Limited broadcast goes out every interface, never forwarded.
+		for _, name := range s.order {
+			e := s.ifs[name]
+			out := pkt.Clone()
+			if out.Src.IsZero() {
+				out.Src = e.addr
+			}
+			if s.Tap != nil {
+				s.Tap("out", out, name)
+			}
+			if err := e.ifc.Output(out, dst); err != nil {
+				e.ifc.Stats().Oerrors++
+			}
+		}
+		return nil
+	}
+	if s.isLocal(dst) {
+		if pkt.Src.IsZero() {
+			pkt.Src = s.Addr()
+		}
+		// Loop back through the input path asynchronously, as if it
+		// had traversed the software loopback interface.
+		buf, err := pkt.Marshal()
+		if err != nil {
+			return err
+		}
+		s.Sched.At(s.Sched.Now(), func() { s.Input(buf, "lo0") })
+		return nil
+	}
+	ent, err := s.Routes.Lookup(dst)
+	if err != nil {
+		return err
+	}
+	if pkt.Src.IsZero() {
+		if e, ok := s.ifs[ent.IfName]; ok {
+			pkt.Src = e.addr
+		}
+	}
+	s.transmit(pkt, ent, "out", "")
+	return nil
+}
+
+func (s *Stack) allocID() uint16 {
+	id := s.nextID
+	s.nextID++
+	if s.nextID == 0 {
+		s.nextID = 1
+	}
+	return id
+}
+
+// --- ICMP -------------------------------------------------------------
+
+func (s *Stack) icmpInput(pkt *ip.Packet, ifName string) {
+	s.Stats.ICMPIn++
+	m, err := icmp.Unmarshal(pkt.Payload)
+	if err != nil {
+		s.Stats.BadPackets++
+		return
+	}
+	if s.ICMPHook != nil && s.ICMPHook(pkt, m, ifName) {
+		return
+	}
+	switch m.Type {
+	case icmp.TypeEcho:
+		s.Stats.EchoReplies++
+		s.sendICMP(pkt.Src, icmp.NewEchoReply(m))
+	case icmp.TypeEchoReply:
+		s.pingReply(pkt, m)
+	case icmp.TypeDestUnreachable, icmp.TypeTimeExceeded:
+		if q, ok := icmp.QuotedHeader(m); ok {
+			if h, ok := s.protoErrs[q.Proto]; ok {
+				h(q.Dst, m)
+			}
+		}
+	case icmp.TypeRedirect:
+		if !s.AcceptRedirects || m.Gateway.IsZero() {
+			return
+		}
+		q, ok := icmp.QuotedHeader(m)
+		if !ok {
+			return
+		}
+		// Only honor redirects from the gateway we actually used, for
+		// a destination we route through it (4.3BSD's sanity checks).
+		ent, err := s.Routes.Lookup(q.Dst)
+		if err != nil || ent.Gateway != pkt.Src {
+			return
+		}
+		s.Routes.AddHost(q.Dst, m.Gateway, ent.IfName)
+		s.Stats.RedirectsIn++
+	}
+}
+
+// RaiseError lets transports report errors about a received datagram
+// (e.g. UDP port unreachable), with the standard suppression rules.
+func (s *Stack) RaiseError(typ, code uint8, about *ip.Packet) {
+	s.sendICMPError(typ, code, about)
+}
+
+// sendICMP originates an ICMP message to dst.
+func (s *Stack) sendICMP(dst ip.Addr, m *icmp.Message) {
+	s.Stats.ICMPOut++
+	if err := s.Send(ip.ProtoICMP, ip.Addr{}, dst, m.Marshal(), 0, 0); err != nil {
+		// Unroutable ICMP is silently dropped.
+		_ = err
+	}
+}
+
+// sendICMPError raises an error about a received datagram, applying
+// the RFC 1122 suppression rules.
+func (s *Stack) sendICMPError(typ, code uint8, about *ip.Packet) {
+	if about.FragOff != 0 {
+		return // only the first fragment
+	}
+	if about.Dst.IsBroadcast() || about.Src.IsZero() || about.Src.IsBroadcast() {
+		return
+	}
+	if about.Proto == ip.ProtoICMP {
+		if m, err := icmp.Unmarshal(about.Payload); err == nil {
+			switch m.Type {
+			case icmp.TypeEcho, icmp.TypeEchoReply:
+				// Errors about echo are fine.
+			default:
+				return // never error about an ICMP error
+			}
+		}
+	}
+	s.sendICMP(about.Src, icmp.NewError(typ, code, about))
+}
+
+// --- Ping helper --------------------------------------------------------
+
+type pingCtx struct {
+	sent     map[uint16]sim.Time
+	callback func(seq uint16, rtt time.Duration, from ip.Addr)
+}
+
+// Ping sends one echo request to dst with the given payload size; the
+// callback fires when (if) the matching reply arrives. Returns the
+// id/seq used.
+func (s *Stack) Ping(dst ip.Addr, size int, cb func(seq uint16, rtt time.Duration, from ip.Addr)) (id, seq uint16) {
+	id = uint16(len(s.pings) + 1)
+	for s.pings[id] != nil {
+		id++
+	}
+	ctx := &pingCtx{sent: map[uint16]sim.Time{}, callback: cb}
+	s.pings[id] = ctx
+	ctx.sent[0] = s.Sched.Now()
+	payload := make([]byte, size)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	s.sendICMP(dst, icmp.NewEcho(id, 0, payload))
+	return id, 0
+}
+
+// PingSeq sends a follow-up echo on an existing id.
+func (s *Stack) PingSeq(dst ip.Addr, id, seq uint16, size int) {
+	ctx := s.pings[id]
+	if ctx == nil {
+		return
+	}
+	ctx.sent[seq] = s.Sched.Now()
+	payload := make([]byte, size)
+	s.sendICMP(dst, icmp.NewEcho(id, seq, payload))
+}
+
+func (s *Stack) pingReply(pkt *ip.Packet, m *icmp.Message) {
+	ctx := s.pings[m.ID]
+	if ctx == nil {
+		return
+	}
+	t0, ok := ctx.sent[m.Seq]
+	if !ok {
+		return
+	}
+	delete(ctx.sent, m.Seq)
+	if ctx.callback != nil {
+		ctx.callback(m.Seq, s.Sched.Now().Sub(t0), pkt.Src)
+	}
+}
+
+func (s *Stack) String() string {
+	return fmt.Sprintf("stack(%s, %d ifs, fwd=%v)", s.Hostname, len(s.ifs), s.Forwarding)
+}

@@ -1,0 +1,264 @@
+// Package kiss implements the KISS ("Keep It Simple, Stupid")
+// host-to-TNC framing protocol of Chepponis & Karn (6th ARRL Computer
+// Networking Conference, 1987), the protocol the paper's pseudo-driver
+// speaks over the RS-232 line to the TNC.
+//
+// KISS is a byte-stuffing protocol: each frame is delimited by FEND
+// (0xC0); occurrences of FEND and FESC (0xDB) inside the frame are
+// escaped as FESC TFEND and FESC TFESC. The first byte of every frame is
+// a command byte whose low nibble is the command and high nibble the TNC
+// port; command 0 carries link data, commands 1-6 set TNC parameters.
+//
+// The Decoder is deliberately a streaming, byte-at-a-time state machine:
+// the paper's most delicate kernel routine is the tty interrupt handler
+// that "buffer[s] characters ... decod[ing] escaped frame end characters
+// on the fly", and the driver in internal/core feeds this decoder one
+// byte per simulated interrupt exactly the same way.
+package kiss
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Framing bytes.
+const (
+	FEND  = 0xC0 // frame end / delimiter
+	FESC  = 0xDB // frame escape
+	TFEND = 0xDC // transposed FEND (follows FESC)
+	TFESC = 0xDD // transposed FESC (follows FESC)
+)
+
+// Command codes (low nibble of the command byte).
+const (
+	CmdData       = 0x0 // payload is a link-layer frame
+	CmdTXDelay    = 0x1 // keyup delay, units of 10 ms
+	CmdPersist    = 0x2 // CSMA persistence parameter p*256-1
+	CmdSlotTime   = 0x3 // CSMA slot interval, units of 10 ms
+	CmdTXTail     = 0x4 // time to hold transmitter after frame, 10 ms units
+	CmdFullDuplex = 0x5 // 0 = half duplex CSMA, nonzero = full duplex
+	CmdSetHW      = 0x6 // hardware-specific
+	CmdReturn     = 0xF // exit KISS mode, return control to TNC ROM
+)
+
+// Frame is a decoded KISS frame: the port and command from the command
+// byte, plus the unescaped payload (for CmdData, a raw AX.25 frame
+// without FCS; the KISS TNC owns the checksum).
+type Frame struct {
+	Port    uint8 // TNC port, 0-15
+	Command uint8 // one of the Cmd* constants
+	Payload []byte
+}
+
+func (f Frame) String() string {
+	return fmt.Sprintf("kiss{port=%d cmd=%#x len=%d}", f.Port, f.Command, len(f.Payload))
+}
+
+// ErrBadCommand reports a malformed command byte (CmdReturn with a
+// nonzero port nibble is the only reserved combination KISS defines;
+// we accept everything else).
+var ErrBadCommand = errors.New("kiss: malformed command byte")
+
+// Encode appends the KISS encoding of a data frame for port to dst and
+// returns the extended slice. The frame is delimited by FEND on both
+// sides, as recommended to flush line noise.
+func Encode(dst []byte, port uint8, payload []byte) []byte {
+	return EncodeCommand(dst, port, CmdData, payload)
+}
+
+// EncodeCommand appends an arbitrary-command KISS frame. Parameter
+// frames (CmdTXDelay etc.) conventionally carry a single payload byte.
+func EncodeCommand(dst []byte, port, command uint8, payload []byte) []byte {
+	dst = append(dst, FEND)
+	dst = appendEscaped(dst, (port<<4)|(command&0x0F))
+	for _, b := range payload {
+		dst = appendEscaped(dst, b)
+	}
+	return append(dst, FEND)
+}
+
+func appendEscaped(dst []byte, b byte) []byte {
+	switch b {
+	case FEND:
+		return append(dst, FESC, TFEND)
+	case FESC:
+		return append(dst, FESC, TFESC)
+	default:
+		return append(dst, b)
+	}
+}
+
+// EncodedLen reports the exact number of bytes Encode will append for
+// payload: the two FENDs, the command byte, and escapes.
+func EncodedLen(payload []byte) int {
+	n := 3 // FEND + command + FEND (command byte 0x00 never needs escaping)
+	for _, b := range payload {
+		if b == FEND || b == FESC {
+			n += 2
+		} else {
+			n++
+		}
+	}
+	return n
+}
+
+// Decoder is a streaming KISS decoder. Feed it received bytes one at a
+// time with PutByte (as a serial interrupt handler would); completed
+// frames are delivered to the Frame callback. The decoder tolerates
+// line noise between frames, back-to-back FENDs, and oversized frames
+// (dropped and counted, like a kernel buffer overrun).
+type Decoder struct {
+	// Frame is invoked for each complete, non-empty frame. The payload
+	// slice is freshly allocated and owned by the callee.
+	Frame func(Frame)
+
+	// MaxFrame bounds the unescaped frame size (command byte included).
+	// Frames that grow beyond it are discarded and counted in Overruns.
+	// Zero means DefaultMaxFrame.
+	MaxFrame int
+
+	// Counters.
+	Frames   uint64 // complete frames delivered
+	Overruns uint64 // frames dropped for exceeding MaxFrame
+	BadEsc   uint64 // FESC followed by neither TFEND nor TFESC
+
+	buf     []byte
+	inFrame bool
+	escaped bool
+	dropped bool
+}
+
+// DefaultMaxFrame is the decoder buffer limit when MaxFrame is zero:
+// enough for a full AX.25 frame (1 control + 1 PID + 70 address + 256
+// data, doubled for safety) plus the command byte.
+const DefaultMaxFrame = 1024
+
+func (d *Decoder) max() int {
+	if d.MaxFrame > 0 {
+		return d.MaxFrame
+	}
+	return DefaultMaxFrame
+}
+
+// PutByte feeds one received byte into the decoder.
+func (d *Decoder) PutByte(b byte) {
+	if b == FEND {
+		d.endFrame()
+		return
+	}
+	if !d.inFrame {
+		// Noise between frames: KISS says bytes outside FEND...FEND
+		// delimiters that don't start a frame are garbage. A frame
+		// starts at the first byte after a FEND, so any byte here means
+		// we missed the opening FEND; treat it as starting a frame
+		// anyway (the command byte will likely be garbage and the
+		// upper layer drops it), matching permissive TNC behaviour.
+		d.inFrame = true
+	}
+	if d.escaped {
+		d.escaped = false
+		switch b {
+		case TFEND:
+			b = FEND
+		case TFESC:
+			b = FESC
+		default:
+			// Protocol violation: pass the byte through but count it.
+			d.BadEsc++
+		}
+	} else if b == FESC {
+		d.escaped = true
+		return
+	}
+	if d.dropped {
+		return
+	}
+	if len(d.buf) >= d.max() {
+		d.dropped = true
+		d.Overruns++
+		return
+	}
+	d.buf = append(d.buf, b)
+}
+
+// Write feeds a burst of bytes; it never fails. Implements io.Writer so
+// a Decoder can terminate any byte pipeline.
+func (d *Decoder) Write(p []byte) (int, error) {
+	for _, b := range p {
+		d.PutByte(b)
+	}
+	return len(p), nil
+}
+
+func (d *Decoder) endFrame() {
+	buf := d.buf
+	d.buf = d.buf[:0]
+	wasDropped := d.dropped
+	d.inFrame, d.escaped, d.dropped = false, false, false
+	if wasDropped || len(buf) == 0 {
+		return // empty frame between back-to-back FENDs, or overrun
+	}
+	cmd := buf[0]
+	payload := make([]byte, len(buf)-1)
+	copy(payload, buf[1:])
+	d.Frames++
+	if d.Frame != nil {
+		d.Frame(Frame{Port: cmd >> 4, Command: cmd & 0x0F, Payload: payload})
+	}
+}
+
+// Reset discards any partial frame state.
+func (d *Decoder) Reset() {
+	d.buf = d.buf[:0]
+	d.inFrame, d.escaped, d.dropped = false, false, false
+}
+
+// DecodeAll decodes every complete frame in p, for tools and tests that
+// have the whole byte stream in memory.
+func DecodeAll(p []byte) []Frame {
+	var frames []Frame
+	d := Decoder{Frame: func(f Frame) { frames = append(frames, f) }}
+	for _, b := range p {
+		d.PutByte(b)
+	}
+	return frames
+}
+
+// Params are the TNC channel-access parameters settable over KISS
+// (commands 1-6). Zero value = KISS defaults.
+type Params struct {
+	TXDelay    byte // keyup delay in 10 ms units (default 50 = 500 ms)
+	Persist    byte // p = (Persist+1)/256 (default 63 -> p=0.25)
+	SlotTime   byte // slot in 10 ms units (default 10 = 100 ms)
+	TXTail     byte // obsolete; kept for completeness
+	FullDuplex bool
+}
+
+// DefaultParams returns the KISS-specified defaults.
+func DefaultParams() Params {
+	return Params{TXDelay: 50, Persist: 63, SlotTime: 10, TXTail: 0}
+}
+
+// Apply updates p from a parameter frame; data frames and unknown
+// commands are ignored. Returns whether the frame changed a parameter.
+func (p *Params) Apply(f Frame) bool {
+	arg := byte(0)
+	if len(f.Payload) > 0 {
+		arg = f.Payload[0]
+	}
+	switch f.Command {
+	case CmdTXDelay:
+		p.TXDelay = arg
+	case CmdPersist:
+		p.Persist = arg
+	case CmdSlotTime:
+		p.SlotTime = arg
+	case CmdTXTail:
+		p.TXTail = arg
+	case CmdFullDuplex:
+		p.FullDuplex = arg != 0
+	default:
+		return false
+	}
+	return true
+}

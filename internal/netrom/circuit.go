@@ -1,0 +1,267 @@
+package netrom
+
+import (
+	"errors"
+	"time"
+
+	"packetradio/internal/ax25"
+	"packetradio/internal/sim"
+)
+
+// Circuit is a NET/ROM layer-4 virtual circuit: the paper's users
+// "connect to a node on the network ... then connect to the NET/ROM
+// node nearest their destination". Reliability is stop-and-wait (the
+// firmware's window feature is negotiated but we transmit one Info at
+// a time, which keeps recovery simple over a lossy backbone).
+type Circuit struct {
+	// OnData receives in-order circuit payloads.
+	OnData func([]byte)
+	// OnState receives up/down transitions: true = connected.
+	OnState func(bool)
+
+	Stats struct {
+		InfosSent   uint64
+		InfosRcvd   uint64
+		Retransmits uint64
+	}
+
+	node   *Node
+	remote ax25.Addr // remote node callsign
+
+	// Our circuit identity (we allocate) and the peer's.
+	myIdx, myID     uint8
+	peerIdx, peerID uint8
+
+	up       bool
+	closed   bool
+	err      error
+	txSeq    uint8
+	rxSeq    uint8
+	sendq    [][]byte
+	inflight []byte
+	timer    *sim.Event
+	retries  int
+	rto      time.Duration
+	maxRetry int
+}
+
+// ErrCircuitDown reports sends on a dead circuit.
+var ErrCircuitDown = errors.New("netrom: circuit down")
+
+const circuitRTO = 30 * time.Second
+const circuitMaxRetry = 5
+
+func (n *Node) newCircuit(remote ax25.Addr) *Circuit {
+	n.nextCID++
+	c := &Circuit{
+		node: n, remote: remote,
+		myIdx: uint8(len(n.circuits) & 0xFF), myID: n.nextCID,
+		rto: circuitRTO, maxRetry: circuitMaxRetry,
+	}
+	n.circuits[uint16(c.myIdx)<<8|uint16(c.myID)] = c
+	n.Stats.CircuitsOpen++
+	return c
+}
+
+// Connect opens a circuit to the remote node.
+func (n *Node) Connect(remote ax25.Addr) *Circuit {
+	c := n.newCircuit(remote)
+	c.sendCtl(OpConnReq)
+	c.armTimer(func() { c.sendCtl(OpConnReq) })
+	return c
+}
+
+// Up reports whether the circuit is established.
+func (c *Circuit) Up() bool { return c.up }
+
+// Err reports the failure reason after teardown.
+func (c *Circuit) Err() error { return c.err }
+
+// Send queues payload on the circuit.
+func (c *Circuit) Send(p []byte) error {
+	if c.closed {
+		return ErrCircuitDown
+	}
+	c.sendq = append(c.sendq, append([]byte(nil), p...))
+	c.pump()
+	return nil
+}
+
+// Disconnect tears the circuit down.
+func (c *Circuit) Disconnect() {
+	if c.closed {
+		return
+	}
+	c.sendCtl(OpDiscReq)
+	c.teardown(nil)
+}
+
+func (c *Circuit) route(p *Packet) {
+	p.Origin = c.node.Call
+	p.Dest = c.remote
+	p.TTL = DefaultTTL
+	if c.remote == c.node.Call {
+		c.node.l3Input(p)
+		return
+	}
+	r, ok := c.node.routes[c.remote]
+	if !ok {
+		c.node.Stats.L3NoRoute++
+		return
+	}
+	c.node.sendUI(r.BestNeighbor, p.Marshal())
+}
+
+func (c *Circuit) sendCtl(op uint8) {
+	p := &Packet{Op: op}
+	switch op {
+	case OpConnReq:
+		p.CircuitIdx, p.CircuitID = c.myIdx, c.myID
+		p.Window = 1
+		p.User, p.Node = c.node.Call, c.node.Call
+	case OpConnAck:
+		// Echo the requester's identity in idx/id; ours in seq bytes
+		// (the real protocol's layout).
+		p.CircuitIdx, p.CircuitID = c.peerIdx, c.peerID
+		p.TxSeq, p.RxSeq = c.myIdx, c.myID
+		p.Window = 1
+	case OpDiscReq, OpDiscAck:
+		p.CircuitIdx, p.CircuitID = c.peerIdx, c.peerID
+	}
+	c.route(p)
+}
+
+func (c *Circuit) pump() {
+	if !c.up || c.inflight != nil || len(c.sendq) == 0 {
+		return
+	}
+	c.inflight = c.sendq[0]
+	c.sendq = c.sendq[1:]
+	c.transmitInfo()
+}
+
+func (c *Circuit) transmitInfo() {
+	p := &Packet{
+		Op:         OpInfo,
+		CircuitIdx: c.peerIdx, CircuitID: c.peerID,
+		TxSeq: c.txSeq, RxSeq: c.rxSeq,
+		Info: c.inflight,
+	}
+	c.Stats.InfosSent++
+	c.route(p)
+	c.armTimer(func() {
+		c.Stats.Retransmits++
+		c.transmitInfo()
+	})
+}
+
+func (c *Circuit) armTimer(retry func()) {
+	c.stopTimer()
+	c.timer = c.node.sched.After(c.rto, func() {
+		c.timer = nil
+		c.retries++
+		if c.retries > c.maxRetry {
+			c.teardown(ErrCircuitDown)
+			return
+		}
+		retry()
+	})
+}
+
+func (c *Circuit) stopTimer() {
+	if c.timer != nil {
+		c.node.sched.Cancel(c.timer)
+		c.timer = nil
+	}
+}
+
+func (c *Circuit) teardown(err error) {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.up = false
+	c.err = err
+	c.stopTimer()
+	delete(c.node.circuits, uint16(c.myIdx)<<8|uint16(c.myID))
+	if c.OnState != nil {
+		c.OnState(false)
+	}
+}
+
+// circuitInput dispatches L4 packets addressed to this node.
+func (n *Node) circuitInput(p *Packet) {
+	switch p.Op & 0x0F {
+	case OpConnReq:
+		// Duplicate request (our ConnAck was lost): re-acknowledge the
+		// existing circuit instead of creating a twin.
+		for _, ex := range n.circuits {
+			if ex.remote == p.Origin && ex.peerIdx == p.CircuitIdx && ex.peerID == p.CircuitID && ex.up {
+				ex.sendCtl(OpConnAck)
+				return
+			}
+		}
+		// Peer identity is in the request; ours gets allocated.
+		c := n.newCircuit(p.Origin)
+		c.peerIdx, c.peerID = p.CircuitIdx, p.CircuitID
+		if n.AcceptCircuit == nil || !n.AcceptCircuit(c) {
+			c.sendCtl(OpDiscReq)
+			c.teardown(ErrCircuitDown)
+			return
+		}
+		c.up = true
+		c.sendCtl(OpConnAck)
+		if c.OnState != nil {
+			c.OnState(true)
+		}
+	case OpConnAck:
+		// Matches the circuit we opened: idx/id echo ours.
+		c := n.circuits[uint16(p.CircuitIdx)<<8|uint16(p.CircuitID)]
+		if c == nil || c.up {
+			return
+		}
+		c.peerIdx, c.peerID = p.TxSeq, p.RxSeq
+		c.up = true
+		c.retries = 0
+		c.stopTimer()
+		if c.OnState != nil {
+			c.OnState(true)
+		}
+		c.pump()
+	case OpInfo:
+		c := n.circuits[uint16(p.CircuitIdx)<<8|uint16(p.CircuitID)]
+		if c == nil {
+			return
+		}
+		if p.TxSeq == c.rxSeq {
+			c.rxSeq++
+			c.Stats.InfosRcvd++
+			if c.OnData != nil {
+				c.OnData(append([]byte(nil), p.Info...))
+			}
+		}
+		// Ack what we have (duplicates re-acked).
+		ack := &Packet{Op: OpInfoAck, CircuitIdx: c.peerIdx, CircuitID: c.peerID, RxSeq: c.rxSeq}
+		c.route(ack)
+	case OpInfoAck:
+		c := n.circuits[uint16(p.CircuitIdx)<<8|uint16(p.CircuitID)]
+		if c == nil {
+			return
+		}
+		if c.inflight != nil && p.RxSeq == c.txSeq+1 {
+			c.txSeq++
+			c.inflight = nil
+			c.retries = 0
+			c.stopTimer()
+			c.pump()
+		}
+	case OpDiscReq:
+		c := n.circuits[uint16(p.CircuitIdx)<<8|uint16(p.CircuitID)]
+		if c != nil {
+			c.sendCtl(OpDiscAck)
+			c.teardown(nil)
+		}
+	case OpDiscAck:
+		// Already torn down locally.
+	}
+}

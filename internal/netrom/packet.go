@@ -1,0 +1,221 @@
+// Package netrom implements the NET/ROM network layer the paper's §2.4
+// names as future work: "Work is also proceeding on using another
+// layer three protocol known as NET/ROM to pass IP traffic between
+// gateways. Doing this would allow the use of an existing, and
+// growing, point-to-point backbone in the same way Internet subnets
+// are connected via the ARPANET."
+//
+// Implemented here:
+//
+//   - NODES routing broadcasts (destination, alias, best neighbor,
+//     quality) with quality-product route derivation and obsolescence
+//     aging, as in the Software 2000 firmware.
+//   - The layer-3 header (origin, destination, TTL) and hop-by-hop
+//     forwarding.
+//   - Layer-4 circuits (connect/ack/info/info-ack/disconnect) with
+//     stop-and-wait reliability.
+//   - A datagram opcode carrying a protocol byte, the KA9Q-style
+//     encapsulation that lets IP transit the backbone; the IPTunnel
+//     type adapts it to a netif.Interface so a gateway's routing table
+//     can point subnets at the backbone.
+//
+// Simplification (documented in DESIGN.md): inter-node frames ride
+// AX.25 UI frames with PID 0xCF rather than per-neighbor connected
+// links; reliability above the datagram service comes from the L4
+// circuit layer, as in KA9Q's datagram mode.
+package netrom
+
+import (
+	"errors"
+	"fmt"
+
+	"packetradio/internal/ax25"
+)
+
+// Opcodes (low 4 bits of the L4 opcode byte).
+const (
+	OpConnReq  = 1
+	OpConnAck  = 2
+	OpDiscReq  = 3
+	OpDiscAck  = 4
+	OpInfo     = 5
+	OpInfoAck  = 6
+	OpDatagram = 7 // carries a protocol byte + payload (IP transit)
+
+	// FlagChoke in the high bits mirrors the real protocol's flow
+	// control bit (recognized, not generated).
+	FlagChoke = 0x80
+)
+
+// DefaultTTL is the layer-3 hop limit.
+const DefaultTTL = 16
+
+// Packet is one NET/ROM layer-3 packet with its layer-4 header.
+type Packet struct {
+	Origin ax25.Addr
+	Dest   ax25.Addr
+	TTL    uint8
+
+	// Layer 4.
+	CircuitIdx, CircuitID uint8
+	TxSeq, RxSeq          uint8
+	Op                    uint8
+
+	// Op-specific fields.
+	Window uint8     // ConnReq/ConnAck
+	User   ax25.Addr // ConnReq: originating user
+	Node   ax25.Addr // ConnReq: originating node
+	Proto  uint8     // Datagram: encapsulated protocol (e.g. 0xCC = IP)
+	Info   []byte
+}
+
+var errShort = errors.New("netrom: truncated packet")
+
+// Marshal renders the packet.
+func (p *Packet) Marshal() []byte {
+	buf := make([]byte, 0, 20+len(p.Info))
+	var a [ax25.AddrLen]byte
+	p.Origin.PutHW(a[:])
+	buf = append(buf, a[:]...)
+	p.Dest.PutHW(a[:])
+	buf = append(buf, a[:]...)
+	buf = append(buf, p.TTL, p.CircuitIdx, p.CircuitID, p.TxSeq, p.RxSeq, p.Op)
+	switch p.Op & 0x0F {
+	case OpConnReq:
+		buf = append(buf, p.Window)
+		p.User.PutHW(a[:])
+		buf = append(buf, a[:]...)
+		p.Node.PutHW(a[:])
+		buf = append(buf, a[:]...)
+	case OpConnAck:
+		buf = append(buf, p.Window)
+	case OpDatagram:
+		buf = append(buf, p.Proto)
+	}
+	return append(buf, p.Info...)
+}
+
+// Unmarshal parses a packet.
+func Unmarshal(buf []byte) (*Packet, error) {
+	if len(buf) < 2*ax25.AddrLen+6 {
+		return nil, errShort
+	}
+	p := &Packet{}
+	var err error
+	if p.Origin, err = ax25.HWToAddr(buf[0:7]); err != nil {
+		return nil, err
+	}
+	if p.Dest, err = ax25.HWToAddr(buf[7:14]); err != nil {
+		return nil, err
+	}
+	p.TTL = buf[14]
+	p.CircuitIdx = buf[15]
+	p.CircuitID = buf[16]
+	p.TxSeq = buf[17]
+	p.RxSeq = buf[18]
+	p.Op = buf[19]
+	rest := buf[20:]
+	switch p.Op & 0x0F {
+	case OpConnReq:
+		if len(rest) < 1+2*ax25.AddrLen {
+			return nil, errShort
+		}
+		p.Window = rest[0]
+		if p.User, err = ax25.HWToAddr(rest[1:8]); err != nil {
+			return nil, err
+		}
+		if p.Node, err = ax25.HWToAddr(rest[8:15]); err != nil {
+			return nil, err
+		}
+		rest = rest[15:]
+	case OpConnAck:
+		if len(rest) < 1 {
+			return nil, errShort
+		}
+		p.Window = rest[0]
+		rest = rest[1:]
+	case OpDatagram:
+		if len(rest) < 1 {
+			return nil, errShort
+		}
+		p.Proto = rest[0]
+		rest = rest[1:]
+	}
+	p.Info = rest
+	return p, nil
+}
+
+func (p *Packet) String() string {
+	return fmt.Sprintf("netrom %s>%s ttl=%d op=%d len=%d", p.Origin, p.Dest, p.TTL, p.Op&0x0F, len(p.Info))
+}
+
+// NodesBroadcast is the parsed form of a NODES UI frame.
+type NodesBroadcast struct {
+	Mnemonic string // sending node's alias
+	Entries  []NodesEntry
+}
+
+// NodesEntry advertises one reachable destination.
+type NodesEntry struct {
+	Dest         ax25.Addr
+	Alias        string
+	BestNeighbor ax25.Addr
+	Quality      uint8
+}
+
+const nodesSignature = 0xFF
+
+// Marshal renders the broadcast payload.
+func (n *NodesBroadcast) Marshal() []byte {
+	buf := make([]byte, 0, 7+21*len(n.Entries))
+	buf = append(buf, nodesSignature)
+	buf = append(buf, padAlias(n.Mnemonic)...)
+	var a [ax25.AddrLen]byte
+	for _, e := range n.Entries {
+		e.Dest.PutHW(a[:])
+		buf = append(buf, a[:]...)
+		buf = append(buf, padAlias(e.Alias)...)
+		e.BestNeighbor.PutHW(a[:])
+		buf = append(buf, a[:]...)
+		buf = append(buf, e.Quality)
+	}
+	return buf
+}
+
+// UnmarshalNodes parses a NODES payload.
+func UnmarshalNodes(buf []byte) (*NodesBroadcast, error) {
+	if len(buf) < 7 || buf[0] != nodesSignature {
+		return nil, errors.New("netrom: not a NODES broadcast")
+	}
+	n := &NodesBroadcast{Mnemonic: unpadAlias(buf[1:7])}
+	rest := buf[7:]
+	for len(rest) >= 21 {
+		var e NodesEntry
+		var err error
+		if e.Dest, err = ax25.HWToAddr(rest[0:7]); err != nil {
+			return nil, err
+		}
+		e.Alias = unpadAlias(rest[7:13])
+		if e.BestNeighbor, err = ax25.HWToAddr(rest[13:20]); err != nil {
+			return nil, err
+		}
+		e.Quality = rest[20]
+		n.Entries = append(n.Entries, e)
+		rest = rest[21:]
+	}
+	return n, nil
+}
+
+func padAlias(s string) []byte {
+	b := []byte("      ")
+	copy(b, s)
+	return b[:6]
+}
+
+func unpadAlias(b []byte) string {
+	s := string(b)
+	for len(s) > 0 && s[len(s)-1] == ' ' {
+		s = s[:len(s)-1]
+	}
+	return s
+}

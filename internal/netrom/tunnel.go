@@ -1,0 +1,96 @@
+package netrom
+
+import (
+	"packetradio/internal/ax25"
+	"packetradio/internal/ip"
+	"packetradio/internal/netif"
+)
+
+// IPTunnel adapts a NET/ROM node into a netif.Interface so a gateway's
+// IP routing table can point subnets at the backbone — the §2.4 plan
+// of connecting gateways "in the same way Internet subnets are
+// connected via the ARPANET".
+//
+// Next-hop IP addresses are mapped to node callsigns with AddPeer
+// (static, like the era's gateway configuration files).
+type IPTunnel struct {
+	node  *Node
+	name  string
+	stack Input
+	peers map[ip.Addr]ax25.Addr
+	stats netif.Stats
+	up    bool
+}
+
+// Input is the IP stack entry point (same contract as core.Input).
+type Input interface {
+	Input(buf []byte, ifName string)
+}
+
+// PIDIPProto is the protocol byte used for encapsulated IP datagrams.
+const PIDIPProto = ax25.PIDIP
+
+// NewIPTunnel builds the tunnel interface; received IP datagrams go to
+// stack under the given interface name.
+func NewIPTunnel(node *Node, name string, stack Input) *IPTunnel {
+	t := &IPTunnel{node: node, name: name, stack: stack, peers: make(map[ip.Addr]ax25.Addr)}
+	node.OnDatagram = func(origin ax25.Addr, proto uint8, payload []byte) {
+		if proto != PIDIPProto {
+			return
+		}
+		t.stats.Ipackets++
+		t.stats.Ibytes += uint64(len(payload))
+		if t.stack != nil {
+			t.stack.Input(payload, t.name)
+		}
+	}
+	return t
+}
+
+// AddPeer maps a next-hop IP address to a NET/ROM node callsign.
+func (t *IPTunnel) AddPeer(nextHop ip.Addr, nodeCall ax25.Addr) { t.peers[nextHop] = nodeCall }
+
+// Node exposes the underlying node.
+func (t *IPTunnel) Node() *Node { return t.node }
+
+// Name implements netif.Interface.
+func (t *IPTunnel) Name() string { return t.name }
+
+// MTU implements netif.Interface: the AX.25 information field less the
+// NET/ROM L3+L4 header (20 bytes) and protocol byte.
+func (t *IPTunnel) MTU() int { return ax25.MaxInfo - 21 }
+
+// Up implements netif.Interface.
+func (t *IPTunnel) Up() bool { return t.up }
+
+// Init implements netif.Interface.
+func (t *IPTunnel) Init() error { t.up = true; return nil }
+
+// Stats implements netif.Interface.
+func (t *IPTunnel) Stats() *netif.Stats { return &t.stats }
+
+// Output implements netif.Interface: encapsulate and route over the
+// backbone.
+func (t *IPTunnel) Output(pkt *ip.Packet, nextHop ip.Addr) error {
+	if !t.up {
+		t.stats.Oerrors++
+		return &netif.ErrDown{If: t.name}
+	}
+	dest, ok := t.peers[nextHop]
+	if !ok {
+		t.stats.Oerrors++
+		return nil // no peer mapping: drop, like an ARP failure
+	}
+	buf, err := pkt.Marshal()
+	if err != nil {
+		t.stats.Oerrors++
+		return err
+	}
+	if !t.node.SendDatagram(dest, PIDIPProto, buf) {
+		t.stats.Oerrors++
+		return nil
+	}
+	t.stats.Opackets++
+	t.stats.Obytes += uint64(len(buf))
+	return nil
+}

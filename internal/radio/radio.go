@@ -1,0 +1,358 @@
+// Package radio simulates the shared amateur packet-radio channel: a
+// single-frequency, half-duplex broadcast medium at (by default) 1200
+// bits per second, the regime in which the paper's §3 observation —
+// "the transmission time is the dominant factor in determining
+// throughput and latency" — holds.
+//
+// The model is at frame granularity with continuous time:
+//
+//   - Every attached Transceiver that can hear the sender observes
+//     carrier from key-up to key-release (TXDELAY preamble plus frame
+//     airtime).
+//   - Two transmissions that overlap in time at a receiver that hears
+//     both senders destroy each other there (no capture effect).
+//   - A half-duplex transceiver cannot receive while it transmits.
+//   - Reachability is a directed relation, so hidden-terminal and
+//     digipeater topologies (Seattle–Tacoma via a hilltop relay) are
+//     expressible.
+//
+// Channel access (p-persistent CSMA with slot time, per the KISS
+// parameters) is implemented here in Transceiver.Send because in the
+// real system it lives in the TNC, which owns those parameters.
+package radio
+
+import (
+	"time"
+
+	"packetradio/internal/sim"
+)
+
+// ChannelStats aggregates channel-wide accounting.
+type ChannelStats struct {
+	FramesStarted  uint64        // transmissions keyed up
+	FramesDamaged  uint64        // receptions lost to collision or noise
+	FramesHeard    uint64        // successful receptions (per receiver)
+	Airtime        time.Duration // total transmit airtime (sum over senders)
+	CollisionPairs uint64        // distinct overlapping transmission pairs
+}
+
+// Channel is one radio frequency shared by all attached transceivers.
+type Channel struct {
+	sched *sim.Scheduler
+
+	// BitRate is the on-air signalling rate in bits per second.
+	BitRate int
+
+	// BitErrorRate, when nonzero, is the per-bit probability of noise
+	// damage; a frame survives with probability (1-BER)^bits.
+	BitErrorRate float64
+
+	// DCDDelay is the data-carrier-detect latency: a transmission is
+	// invisible to other stations' carrier sense until DCDDelay after
+	// key-up. This is CSMA's vulnerable window; without it, colocated
+	// stations in a zero-propagation-delay simulation would never
+	// collide. Defaults to DefaultDCDDelay.
+	DCDDelay time.Duration
+
+	Stats ChannelStats
+
+	stations []*Transceiver
+	active   []*transmission
+
+	// unreachable holds ordered pairs (from,to) that cannot hear each
+	// other. Default (empty) is full mesh.
+	unreachable map[[2]*Transceiver]bool
+}
+
+// DefaultBitRate is the classic 1200 bps AFSK channel rate of the
+// paper's network ("the link speed is only 1200 bits per second").
+const DefaultBitRate = 1200
+
+// DefaultDCDDelay is the default carrier-detect latency, typical of
+// 1200 bps AFSK demodulator squelch circuits.
+const DefaultDCDDelay = 20 * time.Millisecond
+
+// NewChannel creates a channel on the given scheduler.
+func NewChannel(sched *sim.Scheduler, bitRate int) *Channel {
+	if bitRate <= 0 {
+		bitRate = DefaultBitRate
+	}
+	return &Channel{
+		sched:       sched,
+		BitRate:     bitRate,
+		DCDDelay:    DefaultDCDDelay,
+		unreachable: make(map[[2]*Transceiver]bool),
+	}
+}
+
+// AirTime reports how long n frame bytes occupy the channel, excluding
+// the TXDELAY preamble. AX.25 HDLC framing adds two flag octets and the
+// 16-bit FCS is already part of the byte stream handed to the radio.
+func (c *Channel) AirTime(n int) time.Duration {
+	bits := (n + 2) * 8 // +2 flag octets
+	return time.Duration(float64(bits) / float64(c.BitRate) * float64(time.Second))
+}
+
+// SetReachable declares whether transmissions from a are audible at b
+// (directed). All pairs start reachable.
+func (c *Channel) SetReachable(from, to *Transceiver, ok bool) {
+	c.unreachable[[2]*Transceiver{from, to}] = !ok
+}
+
+func (c *Channel) reachable(from, to *Transceiver) bool {
+	return !c.unreachable[[2]*Transceiver{from, to}]
+}
+
+// Utilization reports total transmit airtime divided by elapsed time.
+// Overlapping (colliding) transmissions both count, so values can
+// exceed 1 under heavy collision load.
+func (c *Channel) Utilization() float64 {
+	if c.sched.Now() == 0 {
+		return 0
+	}
+	return float64(c.Stats.Airtime) / float64(c.sched.Now().Duration())
+}
+
+type transmission struct {
+	sender     *Transceiver
+	frame      []byte
+	start, end sim.Time
+	// damagedAt marks receivers whose copy is destroyed by overlap.
+	damagedAt map[*Transceiver]bool
+}
+
+func (t *transmission) overlaps(u *transmission) bool {
+	return t.start < u.end && u.start < t.end
+}
+
+// TxStats counts per-transceiver events.
+type TxStats struct {
+	FramesSent     uint64
+	FramesQueued   uint64
+	FramesHeard    uint64 // frames received intact (any destination)
+	FramesDamaged  uint64 // frames received damaged
+	CSMADeferrals  uint64 // slot waits due to busy carrier or persistence
+	HalfDuplexMiss uint64 // receptions lost because we were transmitting
+}
+
+// Params govern channel access for one transceiver, mirroring the KISS
+// TNC parameters.
+type Params struct {
+	TXDelay    time.Duration // key-up to data (default 300 ms)
+	SlotTime   time.Duration // CSMA slot (default 100 ms)
+	Persist    float64       // p-persistence in (0,1] (default 0.25)
+	FullDuplex bool          // transmit without carrier sense
+}
+
+// DefaultParams mirror common KISS defaults at 1200 bps.
+func DefaultParams() Params {
+	return Params{TXDelay: 300 * time.Millisecond, SlotTime: 100 * time.Millisecond, Persist: 0.25}
+}
+
+func (p Params) withDefaults() Params {
+	if p.TXDelay <= 0 {
+		p.TXDelay = 300 * time.Millisecond
+	}
+	if p.SlotTime <= 0 {
+		p.SlotTime = 100 * time.Millisecond
+	}
+	if p.Persist <= 0 || p.Persist > 1 {
+		p.Persist = 0.25
+	}
+	return p
+}
+
+// Transceiver is one radio on the channel. Frames are queued with Send
+// and transmitted under CSMA; intact receptions are delivered to the
+// receive callback, damaged ones to the damage callback (which a TNC
+// uses to count CRC errors).
+type Transceiver struct {
+	Name   string
+	Params Params
+	Stats  TxStats
+
+	ch *Channel
+	rx func(frame []byte, damaged bool)
+
+	queue          [][]byte
+	contending     bool
+	transmitting   bool
+	txStart, txEnd sim.Time
+}
+
+// Attach adds a new transceiver to the channel.
+func (c *Channel) Attach(name string, params Params) *Transceiver {
+	t := &Transceiver{Name: name, Params: params.withDefaults(), ch: c}
+	c.stations = append(c.stations, t)
+	return t
+}
+
+// Stations returns the attached transceivers.
+func (c *Channel) Stations() []*Transceiver { return c.stations }
+
+// SetReceiver installs the frame-delivery callback.
+func (t *Transceiver) SetReceiver(rx func(frame []byte, damaged bool)) { t.rx = rx }
+
+// CarrierSense reports whether t currently detects channel activity
+// (its own transmission included).
+func (t *Transceiver) CarrierSense() bool {
+	if t.transmitting {
+		return true
+	}
+	now := t.ch.sched.Now()
+	for _, tx := range t.ch.active {
+		if tx.sender == t || !t.ch.reachable(tx.sender, t) {
+			continue
+		}
+		// The transmission is detectable only once the demodulator has
+		// had DCDDelay to lock onto it.
+		if now >= tx.start.Add(t.ch.DCDDelay) && tx.end > now {
+			return true
+		}
+	}
+	return false
+}
+
+// QueueLen reports frames awaiting transmission.
+func (t *Transceiver) QueueLen() int { return len(t.queue) }
+
+// Send queues one frame (a fully framed byte string, FCS included) for
+// CSMA transmission. The slice is copied.
+func (t *Transceiver) Send(frame []byte) {
+	t.queue = append(t.queue, append([]byte(nil), frame...))
+	t.Stats.FramesQueued++
+	if !t.contending && !t.transmitting {
+		t.contending = true
+		t.ch.sched.At(t.ch.sched.Now(), t.contend)
+	}
+}
+
+// contend runs one step of p-persistent CSMA.
+func (t *Transceiver) contend() {
+	if len(t.queue) == 0 {
+		t.contending = false
+		return
+	}
+	p := t.Params
+	if !p.FullDuplex {
+		if t.CarrierSense() {
+			t.Stats.CSMADeferrals++
+			t.ch.sched.After(p.SlotTime, t.contend)
+			return
+		}
+		if t.ch.sched.Rand().Float64() >= p.Persist {
+			t.Stats.CSMADeferrals++
+			t.ch.sched.After(p.SlotTime, t.contend)
+			return
+		}
+	}
+	t.contending = false
+	t.transmit(t.queue[0])
+	t.queue = t.queue[1:]
+}
+
+func (t *Transceiver) transmit(frame []byte) {
+	c := t.ch
+	now := c.sched.Now()
+	dur := t.Params.TXDelay + c.AirTime(len(frame))
+	tx := &transmission{
+		sender:    t,
+		frame:     frame,
+		start:     now,
+		end:       now.Add(dur),
+		damagedAt: make(map[*Transceiver]bool),
+	}
+	t.transmitting = true
+	t.txStart, t.txEnd = tx.start, tx.end
+	t.Stats.FramesSent++
+	c.Stats.FramesStarted++
+	c.Stats.Airtime += dur
+
+	// Mark mutual damage with every already-active overlapping
+	// transmission, at each receiver that can hear both senders.
+	for _, other := range c.active {
+		if !tx.overlaps(other) {
+			continue
+		}
+		c.Stats.CollisionPairs++
+		for _, r := range c.stations {
+			hearsNew := c.reachable(t, r)
+			hearsOld := c.reachable(other.sender, r)
+			if hearsNew && hearsOld {
+				tx.damagedAt[r] = true
+				other.damagedAt[r] = true
+			}
+		}
+	}
+	c.active = append(c.active, tx)
+	c.sched.At(tx.end, func() { c.complete(tx) })
+}
+
+func (c *Channel) complete(tx *transmission) {
+	// Remove from active list.
+	for i, a := range c.active {
+		if a == tx {
+			c.active = append(c.active[:i], c.active[i+1:]...)
+			break
+		}
+	}
+	sender := tx.sender
+	sender.transmitting = false
+
+	// Deliver to every station that can hear the sender.
+	for _, r := range c.stations {
+		if r == sender || !c.reachable(sender, r) {
+			continue
+		}
+		damaged := tx.damagedAt[r]
+		// Half duplex: a station whose own transmission overlapped
+		// [tx.start, tx.end) missed the frame entirely — not even a
+		// damaged copy is seen (its receiver was disconnected).
+		if !r.Params.FullDuplex && r.txStart < tx.end && r.txEnd > tx.start {
+			r.Stats.HalfDuplexMiss++
+			continue
+		}
+		if !damaged && c.BitErrorRate > 0 {
+			bits := float64((len(tx.frame) + 2) * 8)
+			pSurvive := pow1m(c.BitErrorRate, bits)
+			if c.sched.Rand().Float64() >= pSurvive {
+				damaged = true
+			}
+		}
+		if damaged {
+			r.Stats.FramesDamaged++
+			c.Stats.FramesDamaged++
+		} else {
+			r.Stats.FramesHeard++
+			c.Stats.FramesHeard++
+		}
+		if r.rx != nil {
+			r.rx(append([]byte(nil), tx.frame...), damaged)
+		}
+	}
+
+	// Sender may have more queued traffic.
+	if len(sender.queue) > 0 && !sender.contending {
+		sender.contending = true
+		c.sched.At(c.sched.Now(), sender.contend)
+	}
+}
+
+// pow1m computes (1-ber)^bits without importing math for one call.
+func pow1m(ber, bits float64) float64 {
+	// exp(bits * ln(1-ber)) via the identity; for the small BERs used
+	// in tests a simple iterative square-and-multiply on the binary
+	// expansion would be overkill, so use the series through repeated
+	// multiplication in chunks.
+	p := 1.0
+	base := 1 - ber
+	n := int(bits)
+	for n > 0 {
+		if n&1 == 1 {
+			p *= base
+		}
+		base *= base
+		n >>= 1
+	}
+	return p
+}

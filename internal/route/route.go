@@ -1,0 +1,154 @@
+// Package route implements the classful IP routing table of the era:
+// host routes, network routes with class-derived or explicit masks, and
+// a default gateway — the structure whose single-class-A-route
+// limitation creates the paper's §4.2 problem ("All packets destined
+// for AMPRnet ... must pass through a single gateway").
+package route
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"packetradio/internal/ip"
+)
+
+// Flags describe a route.
+type Flags uint8
+
+const (
+	FlagUp      Flags = 1 << iota // usable
+	FlagGateway                   // next hop is a gateway, not on-link
+	FlagHost                      // host route (mask /32)
+	FlagStatic                    // manually configured
+)
+
+func (f Flags) String() string {
+	var b strings.Builder
+	for _, fl := range []struct {
+		bit Flags
+		ch  byte
+	}{{FlagUp, 'U'}, {FlagGateway, 'G'}, {FlagHost, 'H'}, {FlagStatic, 'S'}} {
+		if f&fl.bit != 0 {
+			b.WriteByte(fl.ch)
+		}
+	}
+	return b.String()
+}
+
+// Entry is one route.
+type Entry struct {
+	Dest    ip.Addr // network or host address (masked)
+	Mask    ip.Mask
+	Gateway ip.Addr // meaningful when FlagGateway set
+	IfName  string  // outgoing interface
+	Flags   Flags
+	Use     uint64 // packets routed via this entry
+}
+
+func (e *Entry) String() string {
+	gw := "direct"
+	if e.Flags&FlagGateway != 0 {
+		gw = e.Gateway.String()
+	}
+	return fmt.Sprintf("%s/%d via %s dev %s %s", e.Dest, e.Mask.Bits(), gw, e.IfName, e.Flags)
+}
+
+// ErrNoRoute reports an unroutable destination (ENETUNREACH).
+var ErrNoRoute = errors.New("route: no route to host")
+
+// Table is a routing table. Entries are kept sorted most-specific
+// first so Lookup is a linear longest-prefix match — plenty for the
+// handful of routes a 1988 gateway carried.
+type Table struct {
+	entries []*Entry
+}
+
+// New returns an empty table.
+func New() *Table { return &Table{} }
+
+// AddNet installs a network route. A zero mask derives the classful
+// default from dest.
+func (t *Table) AddNet(dest ip.Addr, mask ip.Mask, gw ip.Addr, ifName string) *Entry {
+	if mask == (ip.Mask{}) {
+		mask = ip.ClassMask(dest)
+	}
+	flags := FlagUp | FlagStatic
+	if !gw.IsZero() {
+		flags |= FlagGateway
+	}
+	e := &Entry{Dest: mask.Apply(dest), Mask: mask, Gateway: gw, IfName: ifName, Flags: flags}
+	t.insert(e)
+	return e
+}
+
+// AddHost installs a host route.
+func (t *Table) AddHost(dest ip.Addr, gw ip.Addr, ifName string) *Entry {
+	flags := FlagUp | FlagStatic | FlagHost
+	if !gw.IsZero() {
+		flags |= FlagGateway
+	}
+	e := &Entry{Dest: dest, Mask: ip.MaskHost, Gateway: gw, IfName: ifName, Flags: flags}
+	t.insert(e)
+	return e
+}
+
+// AddDefault installs the default route.
+func (t *Table) AddDefault(gw ip.Addr, ifName string) *Entry {
+	e := &Entry{Gateway: gw, IfName: ifName, Flags: FlagUp | FlagStatic | FlagGateway}
+	t.insert(e)
+	return e
+}
+
+func (t *Table) insert(e *Entry) {
+	// Replace an existing route to the same destination.
+	for i, old := range t.entries {
+		if old.Dest == e.Dest && old.Mask == e.Mask {
+			t.entries[i] = e
+			return
+		}
+	}
+	t.entries = append(t.entries, e)
+	sort.SliceStable(t.entries, func(i, j int) bool {
+		return t.entries[i].Mask.Bits() > t.entries[j].Mask.Bits()
+	})
+}
+
+// Delete removes the route to dest with the given mask, reporting
+// whether one existed.
+func (t *Table) Delete(dest ip.Addr, mask ip.Mask) bool {
+	for i, e := range t.entries {
+		if e.Dest == mask.Apply(dest) && e.Mask == mask {
+			t.entries = append(t.entries[:i], t.entries[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Lookup finds the most specific usable route for dst.
+func (t *Table) Lookup(dst ip.Addr) (*Entry, error) {
+	for _, e := range t.entries {
+		if e.Flags&FlagUp == 0 {
+			continue
+		}
+		if e.Mask.Apply(dst) == e.Dest {
+			e.Use++
+			return e, nil
+		}
+	}
+	return nil, ErrNoRoute
+}
+
+// Entries returns the table contents, most specific first.
+func (t *Table) Entries() []*Entry { return t.entries }
+
+// String renders a netstat -r style dump.
+func (t *Table) String() string {
+	var b strings.Builder
+	for _, e := range t.entries {
+		fmt.Fprintln(&b, e)
+	}
+	return b.String()
+}

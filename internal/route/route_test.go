@@ -1,0 +1,142 @@
+package route
+
+import (
+	"strings"
+	"testing"
+
+	"packetradio/internal/ip"
+)
+
+func TestClassfulDefaultMask(t *testing.T) {
+	tb := New()
+	// Net 44 is class A: the route covers all of 44.*.*.*.
+	tb.AddNet(ip.MustAddr("44.0.0.0"), ip.Mask{}, ip.MustAddr("128.95.1.99"), "qe0")
+	e, err := tb.Lookup(ip.MustAddr("44.56.0.5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Gateway != ip.MustAddr("128.95.1.99") || e.IfName != "qe0" {
+		t.Fatalf("entry = %v", e)
+	}
+	if e.Mask != ip.MaskClassA {
+		t.Fatalf("mask = %v, want class A", e.Mask)
+	}
+}
+
+func TestLongestMatchWins(t *testing.T) {
+	tb := New()
+	tb.AddNet(ip.MustAddr("44.0.0.0"), ip.Mask{}, ip.MustAddr("10.0.0.1"), "a")
+	tb.AddNet(ip.MustAddr("44.24.0.0"), ip.MaskClassB, ip.MustAddr("10.0.0.2"), "b")
+	tb.AddHost(ip.MustAddr("44.24.0.28"), ip.Addr{}, "c")
+
+	cases := []struct {
+		dst, ifn string
+	}{
+		{"44.56.0.5", "a"},  // only the class A route matches
+		{"44.24.9.9", "b"},  // /16 beats /8
+		{"44.24.0.28", "c"}, // host route beats everything
+	}
+	for _, c := range cases {
+		e, err := tb.Lookup(ip.MustAddr(c.dst))
+		if err != nil {
+			t.Fatalf("%s: %v", c.dst, err)
+		}
+		if e.IfName != c.ifn {
+			t.Fatalf("Lookup(%s) chose %s, want %s", c.dst, e.IfName, c.ifn)
+		}
+	}
+}
+
+func TestDefaultRoute(t *testing.T) {
+	tb := New()
+	tb.AddNet(ip.MustAddr("128.95.0.0"), ip.Mask{}, ip.Addr{}, "qe0")
+	tb.AddDefault(ip.MustAddr("128.95.1.1"), "qe0")
+	e, err := tb.Lookup(ip.MustAddr("18.26.0.1")) // far away
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Flags&FlagGateway == 0 || e.Gateway != ip.MustAddr("128.95.1.1") {
+		t.Fatalf("default route: %v", e)
+	}
+	// On-link wins over default.
+	e, _ = tb.Lookup(ip.MustAddr("128.95.3.4"))
+	if e.Flags&FlagGateway != 0 {
+		t.Fatalf("on-link lookup used gateway: %v", e)
+	}
+}
+
+func TestNoRoute(t *testing.T) {
+	tb := New()
+	tb.AddNet(ip.MustAddr("128.95.0.0"), ip.Mask{}, ip.Addr{}, "qe0")
+	if _, err := tb.Lookup(ip.MustAddr("10.1.1.1")); err != ErrNoRoute {
+		t.Fatalf("err = %v, want ErrNoRoute", err)
+	}
+}
+
+func TestReplaceRoute(t *testing.T) {
+	tb := New()
+	tb.AddNet(ip.MustAddr("44.0.0.0"), ip.Mask{}, ip.MustAddr("1.1.1.1"), "a")
+	tb.AddNet(ip.MustAddr("44.0.0.0"), ip.Mask{}, ip.MustAddr("2.2.2.2"), "b")
+	if len(tb.Entries()) != 1 {
+		t.Fatalf("%d entries after replace", len(tb.Entries()))
+	}
+	e, _ := tb.Lookup(ip.MustAddr("44.1.1.1"))
+	if e.Gateway != ip.MustAddr("2.2.2.2") {
+		t.Fatalf("replacement not effective: %v", e)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tb := New()
+	tb.AddNet(ip.MustAddr("44.0.0.0"), ip.Mask{}, ip.MustAddr("1.1.1.1"), "a")
+	if !tb.Delete(ip.MustAddr("44.0.0.0"), ip.MaskClassA) {
+		t.Fatal("Delete returned false")
+	}
+	if tb.Delete(ip.MustAddr("44.0.0.0"), ip.MaskClassA) {
+		t.Fatal("second Delete returned true")
+	}
+	if _, err := tb.Lookup(ip.MustAddr("44.1.1.1")); err == nil {
+		t.Fatal("route still present after delete")
+	}
+}
+
+func TestUseCounter(t *testing.T) {
+	tb := New()
+	tb.AddNet(ip.MustAddr("44.0.0.0"), ip.Mask{}, ip.Addr{}, "pr0")
+	for i := 0; i < 3; i++ {
+		tb.Lookup(ip.MustAddr("44.1.1.1"))
+	}
+	if tb.Entries()[0].Use != 3 {
+		t.Fatalf("Use = %d", tb.Entries()[0].Use)
+	}
+}
+
+func TestHostRouteFlags(t *testing.T) {
+	tb := New()
+	e := tb.AddHost(ip.MustAddr("44.24.0.5"), ip.MustAddr("44.24.0.28"), "pr0")
+	if e.Flags&FlagHost == 0 || e.Flags&FlagGateway == 0 || e.Flags&FlagUp == 0 {
+		t.Fatalf("flags = %v", e.Flags)
+	}
+	if got := e.Flags.String(); got != "UGHS" {
+		t.Fatalf("Flags.String() = %q", got)
+	}
+}
+
+func TestStringDump(t *testing.T) {
+	tb := New()
+	tb.AddNet(ip.MustAddr("44.0.0.0"), ip.Mask{}, ip.Addr{}, "pr0")
+	tb.AddDefault(ip.MustAddr("128.95.1.1"), "qe0")
+	s := tb.String()
+	if !strings.Contains(s, "44.0.0.0/8") || !strings.Contains(s, "0.0.0.0/0 via 128.95.1.1") {
+		t.Fatalf("dump:\n%s", s)
+	}
+}
+
+func TestDownRouteSkipped(t *testing.T) {
+	tb := New()
+	e := tb.AddNet(ip.MustAddr("44.0.0.0"), ip.Mask{}, ip.Addr{}, "pr0")
+	e.Flags &^= FlagUp
+	if _, err := tb.Lookup(ip.MustAddr("44.1.1.1")); err != ErrNoRoute {
+		t.Fatal("down route used")
+	}
+}

@@ -1,0 +1,125 @@
+// Package serial simulates the RS-232 line between the host's DZ serial
+// port and the TNC (Figure 1 of the paper). The line is full duplex;
+// each direction paces bytes at the configured baud rate (8N1: ten bit
+// times per byte) and delivers them to the far end one at a time
+// through a receive callback — the simulated equivalent of the tty
+// interrupt handler the paper's driver hangs off.
+package serial
+
+import (
+	"time"
+
+	"packetradio/internal/sim"
+)
+
+// End is one end of a serial line. Writes queue bytes for paced
+// delivery to the peer; received bytes arrive via the receiver callback
+// installed with SetReceiver.
+type End struct {
+	line *Line
+	peer *End
+
+	rx func(byte)
+
+	// OnDrain, when set, is invoked each time the transmit queue
+	// empties — the "transmit done" interrupt devices use for output
+	// flow control.
+	OnDrain func()
+
+	queue    []byte
+	draining bool
+
+	// Stats.
+	BytesSent     uint64
+	BytesReceived uint64
+	Corrupted     uint64
+}
+
+// Line is a full-duplex serial link between two Ends.
+type Line struct {
+	sched *sim.Scheduler
+	baud  int
+
+	// CorruptRate is the per-byte probability that a byte is damaged
+	// in transit (delivered with a bit flipped). Zero by default.
+	CorruptRate float64
+
+	a, b End
+}
+
+// DefaultBaud is the conventional host-TNC line speed. The radio is
+// 1200 bps, so 9600 on the wire to the TNC keeps the serial hop from
+// being the bottleneck — except when the TNC passes all channel
+// traffic up, which is exactly the §3 problem E2 measures.
+const DefaultBaud = 9600
+
+// NewLine creates a serial line at the given baud rate and returns its
+// two ends.
+func NewLine(sched *sim.Scheduler, baud int) (*End, *End) {
+	if baud <= 0 {
+		baud = DefaultBaud
+	}
+	l := &Line{sched: sched, baud: baud}
+	l.a.line, l.b.line = l, l
+	l.a.peer, l.b.peer = &l.b, &l.a
+	return &l.a, &l.b
+}
+
+// ByteTime reports the serialization time of one byte (8N1 framing:
+// start bit + 8 data bits + stop bit).
+func (l *Line) ByteTime() time.Duration {
+	return time.Duration(10 * float64(time.Second) / float64(l.baud))
+}
+
+// Baud reports the line speed.
+func (l *Line) Baud() int { return l.baud }
+
+// SetReceiver installs the byte-receive callback ("interrupt handler")
+// for this end. Bytes that arrive with no receiver installed are
+// dropped silently, like characters on a closed tty.
+func (e *End) SetReceiver(rx func(byte)) { e.rx = rx }
+
+// Write queues p for transmission to the peer end. It never blocks;
+// the simulated UART drains the queue at line speed. The data is
+// copied, so the caller may reuse p.
+func (e *End) Write(p []byte) (int, error) {
+	e.queue = append(e.queue, p...)
+	if !e.draining && len(e.queue) > 0 {
+		e.draining = true
+		e.line.sched.After(e.line.ByteTime(), e.deliverNext)
+	}
+	return len(p), nil
+}
+
+// QueueLen reports bytes written but not yet delivered — the driver's
+// view of output-queue backlog (E2 measures this on the gateway).
+func (e *End) QueueLen() int { return len(e.queue) }
+
+// Drained reports whether all written bytes have been delivered.
+func (e *End) Drained() bool { return len(e.queue) == 0 }
+
+func (e *End) deliverNext() {
+	if len(e.queue) == 0 {
+		e.draining = false
+		return
+	}
+	b := e.queue[0]
+	e.queue = e.queue[1:]
+	e.BytesSent++
+	if r := e.line.CorruptRate; r > 0 && e.line.sched.Rand().Float64() < r {
+		b ^= 1 << uint(e.line.sched.Rand().Intn(8))
+		e.peer.Corrupted++
+	}
+	e.peer.BytesReceived++
+	if e.peer.rx != nil {
+		e.peer.rx(b)
+	}
+	if len(e.queue) > 0 {
+		e.line.sched.After(e.line.ByteTime(), e.deliverNext)
+	} else {
+		e.draining = false
+		if e.OnDrain != nil {
+			e.OnDrain()
+		}
+	}
+}

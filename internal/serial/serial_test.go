@@ -1,0 +1,146 @@
+package serial
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"packetradio/internal/sim"
+)
+
+func TestBytesArriveInOrder(t *testing.T) {
+	s := sim.NewScheduler(1)
+	a, b := NewLine(s, 9600)
+	var got []byte
+	b.SetReceiver(func(c byte) { got = append(got, c) })
+	msg := []byte("the quick brown fox")
+	a.Write(msg)
+	s.Run()
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q, want %q", got, msg)
+	}
+}
+
+func TestPacingMatchesBaudRate(t *testing.T) {
+	s := sim.NewScheduler(1)
+	a, b := NewLine(s, 1200) // 1200 baud -> 120 bytes/s -> 8.33ms per byte
+	var times []sim.Time
+	b.SetReceiver(func(byte) { times = append(times, s.Now()) })
+	a.Write(make([]byte, 12)) // 12 bytes = 120 bits = 100ms
+	s.Run()
+	if len(times) != 12 {
+		t.Fatalf("delivered %d bytes, want 12", len(times))
+	}
+	last := times[len(times)-1].Duration()
+	// Per-byte times are rounded to nanoseconds, so allow the
+	// accumulated sub-nanosecond truncation (under 1ns per byte).
+	if diff := (100*time.Millisecond - last); diff < 0 || diff > 12*time.Nanosecond {
+		t.Fatalf("last byte at %v, want 100ms within 12ns", last)
+	}
+}
+
+func TestFullDuplexIndependentDirections(t *testing.T) {
+	s := sim.NewScheduler(1)
+	a, b := NewLine(s, 9600)
+	var fromA, fromB []byte
+	b.SetReceiver(func(c byte) { fromA = append(fromA, c) })
+	a.SetReceiver(func(c byte) { fromB = append(fromB, c) })
+	a.Write([]byte("aaaa"))
+	b.Write([]byte("bbbb"))
+	s.Run()
+	if string(fromA) != "aaaa" || string(fromB) != "bbbb" {
+		t.Fatalf("fromA=%q fromB=%q", fromA, fromB)
+	}
+}
+
+func TestBackToBackWritesCoalesce(t *testing.T) {
+	s := sim.NewScheduler(1)
+	a, b := NewLine(s, 9600)
+	var got []byte
+	b.SetReceiver(func(c byte) { got = append(got, c) })
+	a.Write([]byte("first "))
+	a.Write([]byte("second"))
+	s.Run()
+	if string(got) != "first second" {
+		t.Fatalf("got %q", got)
+	}
+	if a.BytesSent != 12 || b.BytesReceived != 12 {
+		t.Fatalf("stats: sent=%d rcvd=%d", a.BytesSent, b.BytesReceived)
+	}
+}
+
+func TestWriteWhileDrainingExtendsQueue(t *testing.T) {
+	s := sim.NewScheduler(1)
+	a, b := NewLine(s, 9600)
+	var got []byte
+	b.SetReceiver(func(c byte) {
+		got = append(got, c)
+		if len(got) == 1 {
+			a.Write([]byte("!"))
+		}
+	})
+	a.Write([]byte("xy"))
+	s.Run()
+	if string(got) != "xy!" {
+		t.Fatalf("got %q, want xy!", got)
+	}
+}
+
+func TestQueueLenAndDrained(t *testing.T) {
+	s := sim.NewScheduler(1)
+	a, b := NewLine(s, 9600)
+	b.SetReceiver(func(byte) {})
+	a.Write(make([]byte, 10))
+	if a.QueueLen() != 10 || a.Drained() {
+		t.Fatalf("QueueLen=%d Drained=%v", a.QueueLen(), a.Drained())
+	}
+	s.RunFor(a.line.ByteTime() * 5)
+	if a.QueueLen() != 5 {
+		t.Fatalf("QueueLen=%d after 5 byte times, want 5", a.QueueLen())
+	}
+	s.Run()
+	if !a.Drained() {
+		t.Fatal("not drained after Run")
+	}
+}
+
+func TestNoReceiverDropsSilently(t *testing.T) {
+	s := sim.NewScheduler(1)
+	a, b := NewLine(s, 9600)
+	a.Write([]byte("lost"))
+	s.Run()
+	if b.BytesReceived != 4 {
+		t.Fatalf("BytesReceived=%d, want 4 (counted even when dropped)", b.BytesReceived)
+	}
+}
+
+func TestCorruptionInjection(t *testing.T) {
+	s := sim.NewScheduler(42)
+	a, b := NewLine(s, 9600)
+	a.line.CorruptRate = 0.5
+	var got []byte
+	b.SetReceiver(func(c byte) { got = append(got, c) })
+	msg := make([]byte, 1000)
+	a.Write(msg)
+	s.Run()
+	if b.Corrupted == 0 {
+		t.Fatal("no corruption at rate 0.5")
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != msg[i] {
+			diff++
+		}
+	}
+	if uint64(diff) != b.Corrupted {
+		t.Fatalf("corrupted count %d but %d bytes differ", b.Corrupted, diff)
+	}
+}
+
+func TestDefaultBaud(t *testing.T) {
+	s := sim.NewScheduler(1)
+	a, _ := NewLine(s, 0)
+	if a.line.Baud() != DefaultBaud {
+		t.Fatalf("baud = %d, want %d", a.line.Baud(), DefaultBaud)
+	}
+}

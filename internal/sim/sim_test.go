@@ -1,0 +1,279 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSchedulerStartsAtZero(t *testing.T) {
+	s := NewScheduler(1)
+	if s.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", s.Now())
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", s.Pending())
+	}
+}
+
+func TestAfterAdvancesClock(t *testing.T) {
+	s := NewScheduler(1)
+	var at Time
+	s.After(3*time.Second, func() { at = s.Now() })
+	s.Run()
+	if at != Time(3*time.Second) {
+		t.Fatalf("event fired at %v, want 3s", at)
+	}
+	if s.Now() != Time(3*time.Second) {
+		t.Fatalf("clock = %v, want 3s", s.Now())
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	s := NewScheduler(1)
+	var order []int
+	s.After(2*time.Second, func() { order = append(order, 2) })
+	s.After(1*time.Second, func() { order = append(order, 1) })
+	s.After(3*time.Second, func() { order = append(order, 3) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestEqualTimeEventsRunInScheduleOrder(t *testing.T) {
+	s := NewScheduler(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.After(time.Second, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d, want %d (FIFO at equal times)", i, v, i)
+		}
+	}
+}
+
+func TestScheduleInPastClampsToNow(t *testing.T) {
+	s := NewScheduler(1)
+	var fired Time = -1
+	s.After(5*time.Second, func() {
+		s.At(0, func() { fired = s.Now() })
+	})
+	s.Run()
+	if fired != Time(5*time.Second) {
+		t.Fatalf("past-scheduled event fired at %v, want 5s (clamped)", fired)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := NewScheduler(1)
+	fired := false
+	e := s.After(time.Second, func() { fired = true })
+	if !s.Cancel(e) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if s.Cancel(e) {
+		t.Fatal("second Cancel returned true")
+	}
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelFromWithinEvent(t *testing.T) {
+	s := NewScheduler(1)
+	fired := false
+	e := s.After(2*time.Second, func() { fired = true })
+	s.After(1*time.Second, func() { s.Cancel(e) })
+	s.Run()
+	if fired {
+		t.Fatal("event fired after being cancelled by an earlier event")
+	}
+}
+
+func TestRunUntilAdvancesClockEvenWithoutEvents(t *testing.T) {
+	s := NewScheduler(1)
+	s.RunUntil(Time(10 * time.Second))
+	if s.Now() != Time(10*time.Second) {
+		t.Fatalf("clock = %v, want 10s", s.Now())
+	}
+}
+
+func TestRunUntilDoesNotRunLaterEvents(t *testing.T) {
+	s := NewScheduler(1)
+	fired := false
+	s.After(5*time.Second, func() { fired = true })
+	s.RunUntil(Time(4 * time.Second))
+	if fired {
+		t.Fatal("event beyond RunUntil deadline fired")
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", s.Pending())
+	}
+	s.RunUntil(Time(5 * time.Second))
+	if !fired {
+		t.Fatal("event at deadline should fire")
+	}
+}
+
+func TestRunFor(t *testing.T) {
+	s := NewScheduler(1)
+	s.RunFor(2 * time.Second)
+	s.RunFor(3 * time.Second)
+	if s.Now() != Time(5*time.Second) {
+		t.Fatalf("clock = %v, want 5s", s.Now())
+	}
+}
+
+func TestHaltStopsRun(t *testing.T) {
+	s := NewScheduler(1)
+	var count int
+	for i := 1; i <= 10; i++ {
+		s.After(time.Duration(i)*time.Second, func() {
+			count++
+			if count == 3 {
+				s.Halt()
+			}
+		})
+	}
+	s.Run()
+	if count != 3 {
+		t.Fatalf("executed %d events after Halt, want 3", count)
+	}
+	if s.Pending() != 7 {
+		t.Fatalf("Pending() = %d, want 7", s.Pending())
+	}
+}
+
+func TestEveryTicksAndStops(t *testing.T) {
+	s := NewScheduler(1)
+	var ticks []Time
+	tk := s.Every(time.Second, func() { ticks = append(ticks, s.Now()) })
+	s.After(3500*time.Millisecond, func() { tk.Stop() })
+	s.Run()
+	if len(ticks) != 3 {
+		t.Fatalf("got %d ticks, want 3: %v", len(ticks), ticks)
+	}
+	for i, at := range ticks {
+		want := Time(time.Duration(i+1) * time.Second)
+		if at != want {
+			t.Fatalf("tick %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestEveryStopInsideCallback(t *testing.T) {
+	s := NewScheduler(1)
+	count := 0
+	var tk *Ticker
+	tk = s.Every(time.Second, func() {
+		count++
+		if count == 2 {
+			tk.Stop()
+		}
+	})
+	s.RunUntil(Time(10 * time.Second))
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+}
+
+func TestDeterministicRand(t *testing.T) {
+	a := NewScheduler(42)
+	b := NewScheduler(42)
+	for i := 0; i < 100; i++ {
+		if a.Rand().Int63() != b.Rand().Int63() {
+			t.Fatal("same-seed schedulers diverged")
+		}
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	s := NewScheduler(1)
+	for i := 0; i < 5; i++ {
+		s.After(time.Duration(i)*time.Millisecond, func() {})
+	}
+	n := s.Run()
+	if n != 5 || s.Fired() != 5 {
+		t.Fatalf("Run() = %d, Fired() = %d, want 5, 5", n, s.Fired())
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := NewScheduler(1)
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 100 {
+			s.After(time.Millisecond, recurse)
+		}
+	}
+	s.After(time.Millisecond, recurse)
+	s.Run()
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100", depth)
+	}
+	if s.Now() != Time(100*time.Millisecond) {
+		t.Fatalf("clock = %v, want 100ms", s.Now())
+	}
+}
+
+// Property: for any set of non-negative delays, events fire in
+// non-decreasing time order and the clock ends at the max delay.
+func TestQuickOrderingInvariant(t *testing.T) {
+	f := func(delays []uint16) bool {
+		s := NewScheduler(7)
+		var fireTimes []Time
+		var max time.Duration
+		for _, d := range delays {
+			dur := time.Duration(d) * time.Millisecond
+			if dur > max {
+				max = dur
+			}
+			s.After(dur, func() { fireTimes = append(fireTimes, s.Now()) })
+		}
+		s.Run()
+		if len(fireTimes) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fireTimes); i++ {
+			if fireTimes[i] < fireTimes[i-1] {
+				return false
+			}
+		}
+		return len(delays) == 0 || s.Now() == Time(max)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	a := Time(2 * time.Second)
+	if a.Add(time.Second) != Time(3*time.Second) {
+		t.Fatal("Add")
+	}
+	if a.Sub(Time(500*time.Millisecond)) != 1500*time.Millisecond {
+		t.Fatal("Sub")
+	}
+	if a.Seconds() != 2.0 {
+		t.Fatal("Seconds")
+	}
+	if a.String() != "T+2s" {
+		t.Fatalf("String() = %q", a.String())
+	}
+}
+
+func TestAtNilFuncPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for nil func")
+		}
+	}()
+	NewScheduler(1).At(0, nil)
+}

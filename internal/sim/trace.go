@@ -1,0 +1,41 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+)
+
+// Tracer records timestamped simulation events for debugging and for the
+// cmd/prsim tool. A nil *Tracer is valid and discards everything, so
+// components can unconditionally call their tracer.
+type Tracer struct {
+	w     io.Writer
+	s     *Scheduler
+	count uint64
+}
+
+// NewTracer returns a Tracer writing human-readable lines to w using
+// s's clock for timestamps.
+func NewTracer(s *Scheduler, w io.Writer) *Tracer {
+	return &Tracer{w: w, s: s}
+}
+
+// Printf records one trace line, prefixed with the virtual timestamp
+// and a component tag.
+func (t *Tracer) Printf(component, format string, args ...any) {
+	if t == nil || t.w == nil {
+		return
+	}
+	t.count++
+	fmt.Fprintf(t.w, "%12.6f %-10s ", t.s.Now().Seconds(), component)
+	fmt.Fprintf(t.w, format, args...)
+	fmt.Fprintln(t.w)
+}
+
+// Count reports how many lines have been emitted.
+func (t *Tracer) Count() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.count
+}

@@ -1,0 +1,235 @@
+// Package smtp implements the mail service of the paper's evaluation
+// ("we have used the gateway for ... electronic mail ... in both
+// directions"): a minimal RFC 821 subset (HELO, MAIL FROM, RCPT TO,
+// DATA, QUIT) over the simulated TCP, with per-recipient mailboxes and
+// a client used by the BBS and the application gateway to relay radio
+// users' mail onto the Internet.
+package smtp
+
+import (
+	"fmt"
+	"strings"
+
+	"packetradio/internal/ip"
+	"packetradio/internal/tcp"
+)
+
+// Port is the SMTP well-known port.
+const Port = 25
+
+// Message is one piece of mail.
+type Message struct {
+	From string
+	To   string
+	Body string // includes header lines, as on the wire
+}
+
+// Server is an SMTP daemon with in-memory mailboxes.
+type Server struct {
+	Hostname string
+
+	// Mailboxes maps local recipient (the part before @, or the whole
+	// address) to delivered messages.
+	Mailboxes map[string][]Message
+
+	Stats struct {
+		Sessions  uint64
+		Delivered uint64
+		Rejected  uint64
+	}
+}
+
+type serverSession struct {
+	srv  *Server
+	conn *tcp.Conn
+	line []byte
+
+	from   string
+	rcpts  []string
+	inData bool
+	body   strings.Builder
+}
+
+// Serve starts the daemon.
+func Serve(tp *tcp.Proto, srv *Server) error {
+	if srv.Mailboxes == nil {
+		srv.Mailboxes = make(map[string][]Message)
+	}
+	_, err := tp.Listen(Port, func(c *tcp.Conn) {
+		srv.Stats.Sessions++
+		s := &serverSession{srv: srv, conn: c}
+		c.OnData = s.input
+		c.OnPeerClose = func() { c.Close() }
+		s.reply("220 %s SMTP (simulated sendmail 5.x) ready", srv.Hostname)
+	})
+	return err
+}
+
+func (s *serverSession) reply(format string, args ...any) {
+	s.conn.Send([]byte(fmt.Sprintf(format, args...) + "\r\n"))
+}
+
+func (s *serverSession) input(p []byte) {
+	for _, b := range p {
+		if b == '\n' {
+			line := strings.TrimRight(string(s.line), "\r")
+			s.line = s.line[:0]
+			s.handleLine(line)
+			continue
+		}
+		s.line = append(s.line, b)
+	}
+}
+
+func (s *serverSession) handleLine(line string) {
+	if s.inData {
+		if line == "." {
+			s.inData = false
+			for _, rcpt := range s.rcpts {
+				local := rcpt
+				if i := strings.IndexByte(local, '@'); i >= 0 {
+					local = local[:i]
+				}
+				s.srv.Mailboxes[local] = append(s.srv.Mailboxes[local],
+					Message{From: s.from, To: rcpt, Body: s.body.String()})
+				s.srv.Stats.Delivered++
+			}
+			s.from, s.rcpts = "", nil
+			s.body.Reset()
+			s.reply("250 Message accepted for delivery")
+			return
+		}
+		// Dot-stuffing per RFC 821.
+		if strings.HasPrefix(line, "..") {
+			line = line[1:]
+		}
+		s.body.WriteString(line)
+		s.body.WriteString("\n")
+		return
+	}
+	upper := strings.ToUpper(line)
+	switch {
+	case strings.HasPrefix(upper, "HELO"):
+		s.reply("250 %s Hello", s.srv.Hostname)
+	case strings.HasPrefix(upper, "MAIL FROM:"):
+		s.from = strings.Trim(line[len("MAIL FROM:"):], " <>")
+		s.reply("250 Sender ok")
+	case strings.HasPrefix(upper, "RCPT TO:"):
+		rcpt := strings.Trim(line[len("RCPT TO:"):], " <>")
+		if rcpt == "" {
+			s.srv.Stats.Rejected++
+			s.reply("553 Bad recipient")
+			return
+		}
+		s.rcpts = append(s.rcpts, rcpt)
+		s.reply("250 Recipient ok")
+	case strings.HasPrefix(upper, "DATA"):
+		if s.from == "" || len(s.rcpts) == 0 {
+			s.reply("503 Need MAIL and RCPT first")
+			return
+		}
+		s.inData = true
+		s.reply("354 Enter mail, end with \".\" on a line by itself")
+	case strings.HasPrefix(upper, "QUIT"):
+		s.reply("221 %s closing connection", s.srv.Hostname)
+		s.conn.Close()
+	default:
+		s.reply("500 Command unrecognized")
+	}
+}
+
+// --- Client ----------------------------------------------------------------
+
+// Result reports a client submission outcome.
+type Result struct {
+	OK    bool
+	Error string
+}
+
+// Send submits one message to the SMTP server at addr, invoking done
+// when the session ends.
+func Send(tp *tcp.Proto, addr ip.Addr, msg Message, done func(Result)) {
+	conn := tp.Dial(addr, Port)
+	var lineBuf []byte
+	finished := false
+	finish := func(r Result) {
+		if finished {
+			return
+		}
+		finished = true
+		if done != nil {
+			done(r)
+		}
+	}
+
+	// Script: wait-for-code → send-next pairs.
+	type step struct {
+		expect string
+		send   string
+	}
+	body := msg.Body
+	if !strings.HasSuffix(body, "\n") {
+		body += "\n"
+	}
+	// Dot-stuff the body.
+	var stuffed strings.Builder
+	for _, l := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(l, ".") {
+			stuffed.WriteString(".")
+		}
+		stuffed.WriteString(l)
+		stuffed.WriteString("\r\n")
+	}
+	script := []step{
+		{"220", "HELO client"},
+		{"250", "MAIL FROM:<" + msg.From + ">"},
+		{"250", "RCPT TO:<" + msg.To + ">"},
+		{"250", "DATA"},
+		{"354", stuffed.String() + ".\r\n"},
+		{"250", "QUIT"},
+		{"221", ""},
+	}
+
+	conn.OnClose = func(err error) {
+		if err != nil {
+			finish(Result{OK: false, Error: err.Error()})
+		} else if len(script) > 0 {
+			finish(Result{OK: false, Error: "connection closed mid-session"})
+		}
+	}
+	conn.OnPeerClose = func() { conn.Close() }
+	conn.OnData = func(p []byte) {
+		for _, b := range p {
+			if b != '\n' {
+				lineBuf = append(lineBuf, b)
+				continue
+			}
+			line := strings.TrimRight(string(lineBuf), "\r")
+			lineBuf = lineBuf[:0]
+			if len(script) == 0 {
+				continue
+			}
+			st := script[0]
+			if !strings.HasPrefix(line, st.expect) {
+				if line[0] >= '4' && line[0] <= '5' {
+					finish(Result{OK: false, Error: line})
+					conn.Close()
+					script = nil
+				}
+				continue
+			}
+			script = script[1:]
+			if st.send != "" {
+				if strings.HasSuffix(st.send, "\r\n") {
+					conn.Send([]byte(st.send))
+				} else {
+					conn.Send([]byte(st.send + "\r\n"))
+				}
+			}
+			if len(script) == 0 {
+				finish(Result{OK: true})
+				conn.Close()
+			}
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package smtp
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"packetradio/internal/ether"
+	"packetradio/internal/ip"
+	"packetradio/internal/ipstack"
+	"packetradio/internal/sim"
+	"packetradio/internal/tcp"
+)
+
+func twoHosts(t *testing.T) (*sim.Scheduler, *tcp.Proto, *tcp.Proto) {
+	t.Helper()
+	s := sim.NewScheduler(1)
+	g := ether.NewSegment(s, 0)
+	mk := func(name, addr string) *tcp.Proto {
+		st := ipstack.New(s, name)
+		n := g.Attach("qe0", ip.MustAddr(addr), st)
+		n.Init()
+		st.AddInterface(n, ip.MustAddr(addr), ip.MaskClassC)
+		return tcp.New(st)
+	}
+	return s, mk("client", "10.0.0.1"), mk("server", "10.0.0.2")
+}
+
+func TestSendAndDeliver(t *testing.T) {
+	s, tpA, tpB := twoHosts(t)
+	srv := &Server{Hostname: "june"}
+	if err := Serve(tpB, srv); err != nil {
+		t.Fatal(err)
+	}
+	var res Result
+	done := false
+	Send(tpA, ip.MustAddr("10.0.0.2"), Message{
+		From: "n7akr@44.24.0.10",
+		To:   "bcn@june",
+		Body: "Subject: via the gateway\n\nGreetings from the packet radio side.",
+	}, func(r Result) { res = r; done = true })
+	s.RunFor(time.Minute)
+	if !done || !res.OK {
+		t.Fatalf("send failed: done=%v res=%+v", done, res)
+	}
+	box := srv.Mailboxes["bcn"]
+	if len(box) != 1 {
+		t.Fatalf("mailbox has %d messages", len(box))
+	}
+	m := box[0]
+	if m.From != "n7akr@44.24.0.10" || m.To != "bcn@june" {
+		t.Fatalf("envelope: %+v", m)
+	}
+	if !strings.Contains(m.Body, "Greetings from the packet radio side.") {
+		t.Fatalf("body: %q", m.Body)
+	}
+	if srv.Stats.Delivered != 1 {
+		t.Fatalf("stats: %+v", srv.Stats)
+	}
+}
+
+func TestDotStuffing(t *testing.T) {
+	s, tpA, tpB := twoHosts(t)
+	srv := &Server{Hostname: "june"}
+	Serve(tpB, srv)
+	body := "line one\n.hidden dot line\n..double\nend"
+	done := false
+	Send(tpA, ip.MustAddr("10.0.0.2"), Message{From: "a@x", To: "b@june", Body: body},
+		func(r Result) { done = r.OK })
+	s.RunFor(time.Minute)
+	if !done {
+		t.Fatal("send failed")
+	}
+	got := srv.Mailboxes["b"][0].Body
+	if !strings.Contains(got, ".hidden dot line") || !strings.Contains(got, "..double") {
+		t.Fatalf("dot stuffing mangled body: %q", got)
+	}
+	if strings.Contains(got, "...") {
+		t.Fatalf("over-stuffed: %q", got)
+	}
+}
+
+func TestMultipleMessagesOneMailbox(t *testing.T) {
+	s, tpA, tpB := twoHosts(t)
+	srv := &Server{Hostname: "june"}
+	Serve(tpB, srv)
+	for i := 0; i < 3; i++ {
+		Send(tpA, ip.MustAddr("10.0.0.2"), Message{From: "a@x", To: "op@june", Body: "m"}, nil)
+	}
+	s.RunFor(time.Minute)
+	if len(srv.Mailboxes["op"]) != 3 {
+		t.Fatalf("mailbox has %d", len(srv.Mailboxes["op"]))
+	}
+}
+
+func TestRejectBadSequence(t *testing.T) {
+	s, tpA, tpB := twoHosts(t)
+	srv := &Server{Hostname: "june"}
+	Serve(tpB, srv)
+	// Drive the protocol manually: DATA before MAIL must 503.
+	conn := tpA.Dial(ip.MustAddr("10.0.0.2"), Port)
+	var out strings.Builder
+	conn.OnData = func(p []byte) { out.Write(p) }
+	conn.OnConnect = func() { conn.Send([]byte("DATA\r\n")) }
+	s.RunFor(time.Minute)
+	if !strings.Contains(out.String(), "503") {
+		t.Fatalf("no 503: %q", out.String())
+	}
+}
+
+func TestUnknownCommand500(t *testing.T) {
+	s, tpA, tpB := twoHosts(t)
+	Serve(tpB, &Server{Hostname: "june"})
+	conn := tpA.Dial(ip.MustAddr("10.0.0.2"), Port)
+	var out strings.Builder
+	conn.OnData = func(p []byte) { out.Write(p) }
+	conn.OnConnect = func() { conn.Send([]byte("EHLO modern\r\n")) }
+	s.RunFor(time.Minute)
+	if !strings.Contains(out.String(), "500") {
+		t.Fatalf("no 500: %q", out.String())
+	}
+}

@@ -1,0 +1,188 @@
+// Package telnet implements the remote-login service of the paper's
+// evaluation ("we were able to telnet from an isolated IBM PC to a
+// system that was on our Ethernet by way of the new gateway"; "Telnet,
+// FTP, and SMTP have all been successfully used across the gateway").
+//
+// It is a line-oriented NVT subset over the simulated TCP: no option
+// negotiation (the 1988 PC clients mostly refused options anyway),
+// CRLF line endings, a login exchange, and a small command shell.
+package telnet
+
+import (
+	"fmt"
+	"strings"
+
+	"packetradio/internal/ip"
+	"packetradio/internal/tcp"
+)
+
+// Port is the well-known telnet port.
+const Port = 23
+
+// Shell evaluates one command line and returns output lines.
+type Shell func(cmd string) string
+
+// Server is a telnet daemon bound to a TCP layer.
+type Server struct {
+	// Hostname appears in the banner and prompt.
+	Hostname string
+	// Logins maps account names to passwords. Empty means no login
+	// step (straight to shell).
+	Logins map[string]string
+	// Shell handles commands; nil installs DefaultShell.
+	Shell Shell
+
+	Stats struct {
+		Sessions   uint64
+		LoginFails uint64
+		Commands   uint64
+	}
+
+	tp *tcp.Proto
+}
+
+// session states.
+const (
+	stateLogin = iota
+	statePassword
+	stateShell
+)
+
+type session struct {
+	srv   *Server
+	conn  *tcp.Conn
+	state int
+	user  string
+	line  []byte
+}
+
+// Serve starts the daemon on tp.
+func Serve(tp *tcp.Proto, srv *Server) error {
+	srv.tp = tp
+	if srv.Shell == nil {
+		srv.Shell = DefaultShell(srv.Hostname, tp)
+	}
+	_, err := tp.Listen(Port, func(c *tcp.Conn) {
+		srv.Stats.Sessions++
+		s := &session{srv: srv, conn: c}
+		c.OnData = s.input
+		c.OnPeerClose = func() { c.Close() }
+		s.banner()
+	})
+	return err
+}
+
+func (s *session) printf(format string, args ...any) {
+	s.conn.Send([]byte(fmt.Sprintf(format, args...)))
+}
+
+func (s *session) banner() {
+	s.printf("\r\n%s Ultrix-32 V2.0 (simulated)\r\n\r\n", s.srv.Hostname)
+	if len(s.srv.Logins) == 0 {
+		s.state = stateShell
+		s.prompt()
+		return
+	}
+	s.state = stateLogin
+	s.printf("login: ")
+}
+
+func (s *session) prompt() { s.printf("%s%% ", s.srv.Hostname) }
+
+func (s *session) input(p []byte) {
+	for _, b := range p {
+		if b == '\n' || b == '\r' {
+			if len(s.line) > 0 {
+				line := string(s.line)
+				s.line = s.line[:0]
+				s.handleLine(line)
+			}
+			continue
+		}
+		s.line = append(s.line, b)
+	}
+}
+
+func (s *session) handleLine(line string) {
+	switch s.state {
+	case stateLogin:
+		s.user = strings.TrimSpace(line)
+		s.state = statePassword
+		s.printf("Password: ")
+	case statePassword:
+		if want, ok := s.srv.Logins[s.user]; ok && want == strings.TrimSpace(line) {
+			s.state = stateShell
+			s.printf("Last login: (simulated)\r\n")
+			s.prompt()
+			return
+		}
+		s.srv.Stats.LoginFails++
+		s.state = stateLogin
+		s.printf("Login incorrect\r\nlogin: ")
+	case stateShell:
+		s.srv.Stats.Commands++
+		cmd := strings.TrimSpace(line)
+		if cmd == "logout" || cmd == "exit" {
+			s.printf("logout\r\n")
+			s.conn.Close()
+			return
+		}
+		out := s.srv.Shell(cmd)
+		if out != "" {
+			s.printf("%s\r\n", strings.ReplaceAll(out, "\n", "\r\n"))
+		}
+		s.prompt()
+	}
+}
+
+// DefaultShell provides a few era-appropriate commands.
+func DefaultShell(hostname string, tp *tcp.Proto) Shell {
+	return func(cmd string) string {
+		fields := strings.Fields(cmd)
+		if len(fields) == 0 {
+			return ""
+		}
+		switch fields[0] {
+		case "echo":
+			return strings.Join(fields[1:], " ")
+		case "uname":
+			return "ULTRIX " + hostname + " 2.0 MicroVAX"
+		case "hostname":
+			return hostname
+		case "who":
+			return "operator  console"
+		default:
+			return cmd + ": Command not found."
+		}
+	}
+}
+
+// Client is a scripted telnet user.
+type Client struct {
+	// Output accumulates everything the server sent.
+	Output strings.Builder
+	// OnOutput, when set, observes output as it arrives.
+	OnOutput func([]byte)
+	// Closed reports the connection ending.
+	Closed bool
+
+	Conn *tcp.Conn
+}
+
+// DialClient connects a client to addr's telnet port.
+func DialClient(tp *tcp.Proto, addr ip.Addr) *Client {
+	cl := &Client{}
+	cl.Conn = tp.Dial(addr, Port)
+	cl.Conn.OnData = func(p []byte) {
+		cl.Output.Write(p)
+		if cl.OnOutput != nil {
+			cl.OnOutput(p)
+		}
+	}
+	cl.Conn.OnClose = func(error) { cl.Closed = true }
+	cl.Conn.OnPeerClose = func() { cl.Conn.Close() }
+	return cl
+}
+
+// SendLine types one line.
+func (c *Client) SendLine(line string) { c.Conn.Send([]byte(line + "\r\n")) }

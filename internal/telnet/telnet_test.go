@@ -1,0 +1,117 @@
+package telnet
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"packetradio/internal/ether"
+	"packetradio/internal/ip"
+	"packetradio/internal/ipstack"
+	"packetradio/internal/sim"
+	"packetradio/internal/tcp"
+)
+
+func twoHosts(t *testing.T) (*sim.Scheduler, *tcp.Proto, *tcp.Proto) {
+	t.Helper()
+	s := sim.NewScheduler(1)
+	g := ether.NewSegment(s, 0)
+	mk := func(name, addr string) (*ipstack.Stack, *tcp.Proto) {
+		st := ipstack.New(s, name)
+		n := g.Attach("qe0", ip.MustAddr(addr), st)
+		n.Init()
+		st.AddInterface(n, ip.MustAddr(addr), ip.MaskClassC)
+		return st, tcp.New(st)
+	}
+	_, tpA := mk("client", "10.0.0.1")
+	_, tpB := mk("server", "10.0.0.2")
+	return s, tpA, tpB
+}
+
+func TestLoginAndShell(t *testing.T) {
+	s, tpA, tpB := twoHosts(t)
+	srv := &Server{Hostname: "june", Logins: map[string]string{"bcn": "radio"}}
+	if err := Serve(tpB, srv); err != nil {
+		t.Fatal(err)
+	}
+	cl := DialClient(tpA, ip.MustAddr("10.0.0.2"))
+	s.RunFor(time.Second)
+	if !strings.Contains(cl.Output.String(), "login:") {
+		t.Fatalf("no login prompt: %q", cl.Output.String())
+	}
+	cl.SendLine("bcn")
+	s.RunFor(time.Second)
+	cl.SendLine("radio")
+	s.RunFor(time.Second)
+	if !strings.Contains(cl.Output.String(), "june%") {
+		t.Fatalf("no shell prompt: %q", cl.Output.String())
+	}
+	cl.SendLine("echo hello via gateway")
+	s.RunFor(time.Second)
+	if !strings.Contains(cl.Output.String(), "hello via gateway") {
+		t.Fatalf("echo failed: %q", cl.Output.String())
+	}
+	cl.SendLine("uname")
+	s.RunFor(time.Second)
+	if !strings.Contains(cl.Output.String(), "ULTRIX june") {
+		t.Fatalf("uname failed: %q", cl.Output.String())
+	}
+	cl.SendLine("logout")
+	s.RunFor(time.Minute)
+	if !cl.Closed {
+		t.Fatal("session did not close")
+	}
+	if srv.Stats.Sessions != 1 || srv.Stats.Commands != 3 {
+		t.Fatalf("stats: %+v", srv.Stats)
+	}
+}
+
+func TestBadPasswordRetries(t *testing.T) {
+	s, tpA, tpB := twoHosts(t)
+	srv := &Server{Hostname: "june", Logins: map[string]string{"bcn": "radio"}}
+	Serve(tpB, srv)
+	cl := DialClient(tpA, ip.MustAddr("10.0.0.2"))
+	s.RunFor(time.Second)
+	cl.SendLine("bcn")
+	s.RunFor(time.Second)
+	cl.SendLine("wrong")
+	s.RunFor(time.Second)
+	if !strings.Contains(cl.Output.String(), "Login incorrect") {
+		t.Fatalf("no rejection: %q", cl.Output.String())
+	}
+	if srv.Stats.LoginFails != 1 {
+		t.Fatalf("LoginFails = %d", srv.Stats.LoginFails)
+	}
+	// Retry succeeds.
+	cl.SendLine("bcn")
+	s.RunFor(time.Second)
+	cl.SendLine("radio")
+	s.RunFor(time.Second)
+	if !strings.Contains(cl.Output.String(), "june%") {
+		t.Fatalf("retry failed: %q", cl.Output.String())
+	}
+}
+
+func TestNoLoginGoesStraightToShell(t *testing.T) {
+	s, tpA, tpB := twoHosts(t)
+	Serve(tpB, &Server{Hostname: "open"})
+	cl := DialClient(tpA, ip.MustAddr("10.0.0.2"))
+	s.RunFor(time.Second)
+	cl.SendLine("hostname")
+	s.RunFor(time.Second)
+	if !strings.Contains(cl.Output.String(), "open") {
+		t.Fatalf("shell unavailable: %q", cl.Output.String())
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	s, tpA, tpB := twoHosts(t)
+	Serve(tpB, &Server{Hostname: "h"})
+	cl := DialClient(tpA, ip.MustAddr("10.0.0.2"))
+	s.RunFor(time.Second)
+	cl.SendLine("frobnicate")
+	s.RunFor(time.Second)
+	if !strings.Contains(cl.Output.String(), "Command not found") {
+		t.Fatalf("output: %q", cl.Output.String())
+	}
+}

@@ -1,0 +1,147 @@
+package udp
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"packetradio/internal/ether"
+	"packetradio/internal/ip"
+	"packetradio/internal/ipstack"
+	"packetradio/internal/sim"
+)
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	src, dst := ip.MustAddr("1.1.1.1"), ip.MustAddr("2.2.2.2")
+	seg := Marshal(src, dst, 1234, 53, []byte("query"))
+	sp, dp, payload, err := Unmarshal(src, dst, seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp != 1234 || dp != 53 || string(payload) != "query" {
+		t.Fatalf("got %d %d %q", sp, dp, payload)
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	src, dst := ip.MustAddr("1.1.1.1"), ip.MustAddr("2.2.2.2")
+	seg := Marshal(src, dst, 1, 2, []byte("data"))
+	seg[len(seg)-1] ^= 0xFF
+	if _, _, _, err := Unmarshal(src, dst, seg); err == nil {
+		t.Fatal("corruption accepted")
+	}
+	// Misdelivery (wrong pseudo header) is also detected.
+	seg2 := Marshal(src, dst, 1, 2, []byte("data"))
+	if _, _, _, err := Unmarshal(src, ip.MustAddr("9.9.9.9"), seg2); err == nil {
+		t.Fatal("misdelivered datagram accepted")
+	}
+}
+
+func TestUnmarshalShort(t *testing.T) {
+	src, dst := ip.MustAddr("1.1.1.1"), ip.MustAddr("2.2.2.2")
+	if _, _, _, err := Unmarshal(src, dst, []byte{1, 2, 3}); err == nil {
+		t.Fatal("short datagram accepted")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	src, dst := ip.MustAddr("10.1.2.3"), ip.MustAddr("10.3.2.1")
+	f := func(sp, dp uint16, payload []byte) bool {
+		if len(payload) > 60000 {
+			payload = payload[:60000]
+		}
+		seg := Marshal(src, dst, sp, dp, payload)
+		gs, gd, gp, err := Unmarshal(src, dst, seg)
+		return err == nil && gs == sp && gd == dp && bytes.Equal(gp, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func twoMuxes(t *testing.T) (*sim.Scheduler, *Mux, *Mux) {
+	t.Helper()
+	s := sim.NewScheduler(1)
+	g := ether.NewSegment(s, 0)
+	mk := func(name, addr string) *Mux {
+		st := ipstack.New(s, name)
+		n := g.Attach("qe0", ip.MustAddr(addr), st)
+		n.Init()
+		st.AddInterface(n, ip.MustAddr(addr), ip.MaskClassC)
+		return NewMux(st)
+	}
+	return s, mk("a", "10.0.0.1"), mk("b", "10.0.0.2")
+}
+
+func TestEndToEndDelivery(t *testing.T) {
+	s, a, b := twoMuxes(t)
+	var got []byte
+	var fromPort uint16
+	if _, err := b.Bind(53, func(src ip.Addr, sp uint16, p []byte) {
+		got = p
+		fromPort = sp
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sock, err := a.Bind(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sock.SendTo(ip.MustAddr("10.0.0.2"), 53, []byte("hello"))
+	s.RunFor(time.Second)
+	if string(got) != "hello" || fromPort != sock.Port {
+		t.Fatalf("got %q from %d", got, fromPort)
+	}
+	if b.Stats.In != 1 || a.Stats.Out != 1 {
+		t.Fatalf("stats a=%+v b=%+v", a.Stats, b.Stats)
+	}
+}
+
+func TestReplyPath(t *testing.T) {
+	s, a, b := twoMuxes(t)
+	var srvSock *Socket
+	srvSock, _ = b.Bind(7, func(src ip.Addr, sp uint16, p []byte) {
+		srvSock.SendTo(src, sp, p) // echo
+	})
+	var echoed []byte
+	cli, _ := a.Bind(0, func(src ip.Addr, sp uint16, p []byte) { echoed = p })
+	cli.SendTo(ip.MustAddr("10.0.0.2"), 7, []byte("ping"))
+	s.RunFor(time.Second)
+	if string(echoed) != "ping" {
+		t.Fatalf("echo got %q", echoed)
+	}
+}
+
+func TestUnboundPortRaisesICMP(t *testing.T) {
+	s, a, b := twoMuxes(t)
+	sock, _ := a.Bind(0, nil)
+	sock.SendTo(ip.MustAddr("10.0.0.2"), 9999, []byte("anyone?"))
+	s.RunFor(time.Second)
+	if b.Stats.NoPort != 1 {
+		t.Fatalf("NoPort = %d", b.Stats.NoPort)
+	}
+	// The sender's stack sees the ICMP error arrive.
+	if a.stack.Stats.ICMPIn == 0 {
+		t.Fatal("no port-unreachable received")
+	}
+}
+
+func TestPortConflictAndEphemeral(t *testing.T) {
+	_, a, _ := twoMuxes(t)
+	if _, err := a.Bind(53, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Bind(53, nil); err == nil {
+		t.Fatal("double bind succeeded")
+	}
+	s1, _ := a.Bind(0, nil)
+	s2, _ := a.Bind(0, nil)
+	if s1.Port == s2.Port || s1.Port < 1024 {
+		t.Fatalf("ephemeral ports: %d %d", s1.Port, s2.Port)
+	}
+	s1.Close()
+	if _, err := a.Bind(s1.Port, nil); err != nil {
+		t.Fatal("closed port not reusable")
+	}
+}

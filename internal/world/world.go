@@ -1,0 +1,296 @@
+// Package world assembles complete simulated internets out of the
+// substrate packages: Ethernet segments, radio channels, hosts,
+// digipeaters and gateways. Examples, integration tests and every
+// experiment harness build their topologies here.
+//
+// The canned Seattle scenario reproduces the paper's §2.3 deployment:
+// a MicroVAX gateway ("uw-gw") with one leg on the department Ethernet
+// (net 128.95) and one on the 1200 bps packet radio channel (AMPRnet,
+// 44.24.0.28), PCs running IP over radio, and Internet hosts on the
+// Ethernet side.
+package world
+
+import (
+	"fmt"
+	"time"
+
+	"packetradio/internal/acl"
+	"packetradio/internal/ax25"
+	"packetradio/internal/core"
+	"packetradio/internal/ether"
+	"packetradio/internal/ip"
+	"packetradio/internal/ipstack"
+	"packetradio/internal/kiss"
+	"packetradio/internal/netrom"
+	"packetradio/internal/radio"
+	"packetradio/internal/serial"
+	"packetradio/internal/sim"
+	"packetradio/internal/tnc"
+)
+
+// World is the top-level simulation container.
+type World struct {
+	Sched *sim.Scheduler
+
+	hosts    map[string]*Host
+	ethers   map[string]*ether.Segment
+	channels map[string]*radio.Channel
+}
+
+// New creates an empty world with a deterministic seed.
+func New(seed int64) *World {
+	return &World{
+		Sched:    sim.NewScheduler(seed),
+		hosts:    make(map[string]*Host),
+		ethers:   make(map[string]*ether.Segment),
+		channels: make(map[string]*radio.Channel),
+	}
+}
+
+// Ethernet creates (or returns) a named Ethernet segment.
+func (w *World) Ethernet(name string) *ether.Segment {
+	if g, ok := w.ethers[name]; ok {
+		return g
+	}
+	g := ether.NewSegment(w.Sched, 0)
+	w.ethers[name] = g
+	return g
+}
+
+// Channel creates (or returns) a named radio channel at bitRate bps
+// (0 means 1200).
+func (w *World) Channel(name string, bitRate int) *radio.Channel {
+	if c, ok := w.channels[name]; ok {
+		return c
+	}
+	c := radio.NewChannel(w.Sched, bitRate)
+	w.channels[name] = c
+	return c
+}
+
+// Host is one simulated machine.
+type Host struct {
+	Name  string
+	Stack *ipstack.Stack
+
+	world  *World
+	nics   map[string]*ether.NIC
+	radios map[string]*RadioPort
+	gw     *core.Gateway
+}
+
+// RadioPort bundles the per-port hardware chain of Figure 1:
+// driver ⇄ serial line ⇄ KISS TNC ⇄ transceiver ⇄ channel.
+type RadioPort struct {
+	Driver *core.PacketRadioIf
+	TNC    *tnc.TNC
+	RF     *radio.Transceiver
+	Host   *serial.End // host side of the RS-232 line
+	Line   *serial.End // TNC side
+}
+
+// Host creates (or returns) a named host.
+func (w *World) Host(name string) *Host {
+	if h, ok := w.hosts[name]; ok {
+		return h
+	}
+	h := &Host{
+		Name:   name,
+		Stack:  ipstack.New(w.Sched, name),
+		world:  w,
+		nics:   make(map[string]*ether.NIC),
+		radios: make(map[string]*RadioPort),
+	}
+	w.hosts[name] = h
+	return h
+}
+
+// Hosts lists all hosts.
+func (w *World) Hosts() map[string]*Host { return w.hosts }
+
+// AttachEther puts a NIC named ifName on segment seg with the given
+// address; zero mask derives the classful default.
+func (h *Host) AttachEther(seg *ether.Segment, ifName string, addr ip.Addr, mask ip.Mask) *ether.NIC {
+	n := seg.Attach(ifName, addr, h.Stack)
+	if err := n.Init(); err != nil {
+		panic(err)
+	}
+	h.Stack.AddInterface(n, addr, mask)
+	h.nics[ifName] = n
+	return n
+}
+
+// RadioConfig tunes an AttachRadio call.
+type RadioConfig struct {
+	Baud     int // serial line speed; 0 = 9600
+	Filter   tnc.FilterMode
+	TXDelay  time.Duration // 0 = KISS default (300 ms)
+	Persist  float64       // 0 = KISS default (0.25)
+	SlotTime time.Duration // 0 = KISS default (100 ms)
+}
+
+// AttachRadio builds the full Figure 1 chain on channel ch: a KISS TNC
+// with callsign call, an RS-232 line, and the packet-radio
+// pseudo-driver registered with the host's stack.
+func (h *Host) AttachRadio(ch *radio.Channel, ifName string, call string, addr ip.Addr, mask ip.Mask, cfg RadioConfig) *RadioPort {
+	mycall := ax25.MustAddr(call)
+	hostEnd, tncEnd := serial.NewLine(h.world.Sched, cfg.Baud)
+	rf := ch.Attach(call, radio.Params{
+		TXDelay:  cfg.TXDelay,
+		SlotTime: cfg.SlotTime,
+		Persist:  cfg.Persist,
+	})
+	t := tnc.New(h.world.Sched, tncEnd, rf, mycall)
+	t.Filter = cfg.Filter
+	drv := core.NewPacketRadioIf(h.world.Sched, ifName, hostEnd, mycall, addr, h.Stack)
+	if err := drv.Init(); err != nil {
+		panic(err)
+	}
+	h.Stack.AddInterface(drv, addr, mask)
+	port := &RadioPort{Driver: drv, TNC: t, RF: rf, Host: hostEnd, Line: tncEnd}
+	h.radios[ifName] = port
+	return port
+}
+
+// NIC returns a named Ethernet interface.
+func (h *Host) NIC(name string) *ether.NIC { return h.nics[name] }
+
+// Radio returns a named radio port.
+func (h *Host) Radio(name string) *RadioPort { return h.radios[name] }
+
+// EnableForwarding turns the host into a gateway.
+func (h *Host) EnableForwarding() { h.Stack.Forwarding = true }
+
+// MakeGateway marks the host as the paper's gateway: forwarding on,
+// with the named radio and Ethernet interfaces, optionally guarded by
+// a fresh §4.3 ACL (nil Operators leaves the gateway open).
+func (h *Host) MakeGateway(radioIf, etherIf string, withACL bool) *core.Gateway {
+	h.EnableForwarding()
+	g := &core.Gateway{
+		Stack:     h.Stack,
+		Radio:     h.radios[radioIf].Driver,
+		RadioName: radioIf,
+		EtherName: etherIf,
+	}
+	if withACL {
+		g.WireACL(acl.New(h.world.Sched))
+	}
+	h.gw = g
+	return g
+}
+
+// Gateway returns the gateway composition, if MakeGateway was called.
+func (h *Host) Gateway() *core.Gateway { return h.gw }
+
+// NetROMBackbone attaches a NET/ROM node (broadcasting NODES every 30
+// simulated seconds) and an IP-over-NET/ROM tunnel interface named
+// "nr0" to host h — the §2.4 gateway-to-gateway backbone attachment.
+func (w *World) NetROMBackbone(ch *radio.Channel, h *Host, nodeCall string, tunnelAddr ip.Addr) *netrom.IPTunnel {
+	node := netrom.NewNode(w.Sched, ch, nodeCall, nodeCall)
+	node.BroadcastInterval = 30 * time.Second
+	node.Start()
+	tun := netrom.NewIPTunnel(node, "nr0", h.Stack)
+	if err := tun.Init(); err != nil {
+		panic(err)
+	}
+	h.Stack.AddInterface(tun, tunnelAddr, ip.MaskClassC)
+	return tun
+}
+
+// Digipeater places a standalone digipeater station on ch.
+func (w *World) Digipeater(ch *radio.Channel, call string) *tnc.Digipeater {
+	rf := ch.Attach(call, radio.DefaultParams())
+	return tnc.NewDigipeater(ax25.MustAddr(call), rf)
+}
+
+// Run advances the world d of simulated time.
+func (w *World) Run(d time.Duration) { w.Sched.RunFor(d) }
+
+// --- The canned Seattle scenario (paper §2.3) ---------------------------
+
+// Seattle holds the pieces of the canned scenario for tests and
+// examples to poke at.
+type Seattle struct {
+	W *World
+
+	Gateway   *Host // uw-gw: MicroVAX, 128.95.1.1 / 44.24.0.28
+	GatewayGW *core.Gateway
+	Internet  *Host   // june: 128.95.1.2 (the "other system on our Ethernet")
+	PCs       []*Host // pc1..pcN: 44.24.0.10+i on the radio channel
+	Ether     *ether.Segment
+	Channel   *radio.Channel
+}
+
+// SeattleConfig tunes the canned scenario.
+type SeattleConfig struct {
+	Seed      int64
+	NumPCs    int  // default 2
+	BitRate   int  // radio channel, default 1200
+	Baud      int  // gateway serial line, default 9600
+	WithACL   bool // enable §4.3 access control
+	TNCFilter tnc.FilterMode
+}
+
+// GatewayIP is the paper's actual gateway address: "the packet radio
+// interface was enabled at the Internet address of 44.24.0.28".
+var GatewayIP = ip.MustAddr("44.24.0.28")
+
+// GatewayEtherIP is the gateway's Ethernet-side address (net 128.95,
+// the University of Washington class B).
+var GatewayEtherIP = ip.MustAddr("128.95.1.1")
+
+// InternetIP is the Ethernet host used to reach the gateway.
+var InternetIP = ip.MustAddr("128.95.1.2")
+
+// PCIP returns the address of radio PC i (0-based).
+func PCIP(i int) ip.Addr { return ip.AddrFrom(44, 24, 0, byte(10+i)) }
+
+// PCCall returns the callsign of radio PC i.
+func PCCall(i int) string { return fmt.Sprintf("PC%d", i+1) }
+
+// NewSeattle builds the scenario.
+func NewSeattle(cfg SeattleConfig) *Seattle {
+	if cfg.NumPCs <= 0 {
+		cfg.NumPCs = 2
+	}
+	w := New(cfg.Seed)
+	s := &Seattle{W: w}
+	s.Ether = w.Ethernet("uw-cs")
+	s.Channel = w.Channel("145.01", cfg.BitRate)
+
+	// The gateway MicroVAX.
+	gw := w.Host("uw-gw")
+	gw.AttachEther(s.Ether, "qe0", GatewayEtherIP, ip.MaskClassB)
+	gw.AttachRadio(s.Channel, "pr0", "N7AKR", GatewayIP, ip.MaskClassA,
+		RadioConfig{Baud: cfg.Baud, Filter: cfg.TNCFilter})
+	s.GatewayGW = gw.MakeGateway("pr0", "qe0", cfg.WithACL)
+	s.Gateway = gw
+
+	// An Internet host on the Ethernet, with its routing table
+	// modified "so it knew that 44.24.0.28 was the address of a
+	// gateway to net 44".
+	inet := w.Host("june")
+	inet.AttachEther(s.Ether, "qe0", InternetIP, ip.MaskClassB)
+	inet.Stack.Routes.AddNet(ip.MustAddr("44.0.0.0"), ip.MaskClassA, GatewayEtherIP, "qe0")
+	s.Internet = inet
+
+	// PCs on the radio channel ("an isolated IBM PC ... connected to
+	// only a power outlet and a radio").
+	for i := 0; i < cfg.NumPCs; i++ {
+		pc := w.Host(fmt.Sprintf("pc%d", i+1))
+		pc.AttachRadio(s.Channel, "pr0", PCCall(i), PCIP(i), ip.MaskClassA,
+			RadioConfig{Baud: cfg.Baud})
+		// Everything off net 44 goes via the gateway's radio address.
+		pc.Stack.Routes.AddDefault(GatewayIP, "pr0")
+		s.PCs = append(s.PCs, pc)
+	}
+	return s
+}
+
+// SetTNCParams pushes fast KISS parameters to every radio port —
+// useful in tests that want short TXDELAYs.
+func (h *Host) SetTNCParams(p kiss.Params) {
+	for _, rp := range h.radios {
+		rp.Driver.SetTNCParams(p)
+	}
+}

@@ -1,0 +1,223 @@
+// Package packetradio is a full reproduction, as a deterministic
+// discrete-event simulation, of the system described in Neuman &
+// Yamamoto, "Adding Packet Radio to the Ultrix Kernel" (USENIX 1988):
+// an AX.25/KISS packet-radio driver in a 4.3BSD-style IP stack, and a
+// MicroVAX gateway joining the amateur packet radio network (AMPRnet,
+// net 44/8, 1200 bps shared radio channel) to an Ethernet and the
+// Internet — plus every subsystem the paper touches: TNCs (KISS and
+// native firmware), digipeaters, the §4.3 access-control scheme with
+// its ICMP extensions, the §2.4 application gateway and NET/ROM
+// backbone, BBSs, and the telnet/FTP/SMTP services used across the
+// gateway, with the §5 distributed callbook as an extension.
+//
+// This package is the public facade: it re-exports the topology
+// builder, the canned Seattle scenario of the paper's deployment, and
+// the protocol layers an application needs. The implementation lives
+// in internal/ packages (one per subsystem; see DESIGN.md for the
+// inventory and EXPERIMENTS.md for the reproduced evaluation).
+//
+// # Quickstart
+//
+//	s := packetradio.NewSeattle(packetradio.SeattleConfig{Seed: 1})
+//	s.PCs[0].Stack.Ping(packetradio.InternetIP, 56,
+//		func(seq uint16, rtt time.Duration, from packetradio.IPAddr) {
+//			fmt.Println("reply in", rtt)
+//		})
+//	s.W.Run(2 * time.Minute) // simulated time; returns in microseconds
+//
+// Everything runs on a virtual clock: hours of 1200 bps airtime
+// simulate in milliseconds, and runs are bit-for-bit reproducible for
+// a given seed.
+package packetradio
+
+import (
+	"packetradio/internal/acl"
+	"packetradio/internal/appgw"
+	"packetradio/internal/ax25"
+	"packetradio/internal/bbs"
+	"packetradio/internal/callbook"
+	"packetradio/internal/core"
+	"packetradio/internal/ftp"
+	"packetradio/internal/ip"
+	"packetradio/internal/ipstack"
+	"packetradio/internal/netrom"
+	"packetradio/internal/radio"
+	"packetradio/internal/serial"
+	"packetradio/internal/sim"
+	"packetradio/internal/smtp"
+	"packetradio/internal/tcp"
+	"packetradio/internal/telnet"
+	"packetradio/internal/tnc"
+	"packetradio/internal/udp"
+	"packetradio/internal/world"
+)
+
+// Simulation core.
+type (
+	// Scheduler is the discrete-event engine and virtual clock.
+	Scheduler = sim.Scheduler
+	// SimTime is an instant in virtual time.
+	SimTime = sim.Time
+)
+
+// NewScheduler creates a standalone event scheduler (the World builder
+// creates its own).
+func NewScheduler(seed int64) *Scheduler { return sim.NewScheduler(seed) }
+
+// Topology building.
+type (
+	// World assembles hosts, Ethernets, radio channels and gateways.
+	World = world.World
+	// Host is one simulated machine (stack + interfaces).
+	Host = world.Host
+	// RadioPort is the Figure-1 chain: driver⇄serial⇄TNC⇄radio.
+	RadioPort = world.RadioPort
+	// RadioConfig tunes AttachRadio.
+	RadioConfig = world.RadioConfig
+	// Seattle is the canned scenario of the paper's deployment.
+	Seattle = world.Seattle
+	// SeattleConfig tunes the canned scenario.
+	SeattleConfig = world.SeattleConfig
+)
+
+// NewWorld creates an empty world.
+func NewWorld(seed int64) *World { return world.New(seed) }
+
+// NewSeattle builds the paper's §2.3 deployment: gateway MicroVAX,
+// department Ethernet, and PCs on the 1200 bps radio channel.
+func NewSeattle(cfg SeattleConfig) *Seattle { return world.NewSeattle(cfg) }
+
+// The scenario's well-known addresses.
+var (
+	// GatewayIP is 44.24.0.28, the paper's actual gateway address.
+	GatewayIP = world.GatewayIP
+	// GatewayEtherIP is the gateway's Ethernet-side address.
+	GatewayEtherIP = world.GatewayEtherIP
+	// InternetIP is the Ethernet host of the paper's first test.
+	InternetIP = world.InternetIP
+)
+
+// PCIP returns the address of scenario radio PC i (0-based).
+func PCIP(i int) IPAddr { return world.PCIP(i) }
+
+// Addressing.
+type (
+	// IPAddr is an IPv4 address.
+	IPAddr = ip.Addr
+	// IPMask is a netmask.
+	IPMask = ip.Mask
+	// AX25Addr is a callsign+SSID link address.
+	AX25Addr = ax25.Addr
+)
+
+// ParseIP parses dotted-quad notation.
+func ParseIP(s string) (IPAddr, error) { return ip.ParseAddr(s) }
+
+// MustIP is ParseIP that panics (literals).
+func MustIP(s string) IPAddr { return ip.MustAddr(s) }
+
+// ParseCall parses "CALL" or "CALL-SSID".
+func ParseCall(s string) (AX25Addr, error) { return ax25.NewAddr(s) }
+
+// MustCall is ParseCall that panics (literals).
+func MustCall(s string) AX25Addr { return ax25.MustAddr(s) }
+
+// Protocol layers.
+type (
+	// Stack is a host's IP layer.
+	Stack = ipstack.Stack
+	// TCP is a host's TCP layer; TCPConn one connection.
+	TCP       = tcp.Proto
+	TCPConn   = tcp.Conn
+	TCPConfig = tcp.Config
+	// UDP is a host's UDP layer.
+	UDP       = udp.Mux
+	UDPSocket = udp.Socket
+	// Driver is the paper's packet-radio pseudo-device driver.
+	Driver = core.PacketRadioIf
+	// Gateway is the kernel gateway composition (forwarding + ACL).
+	Gateway = core.Gateway
+	// ACL is the §4.3 authorization table.
+	ACL = acl.Table
+	// TNC is a KISS-firmware TNC; NativeTNC the ROM firmware.
+	TNC       = tnc.TNC
+	NativeTNC = tnc.Native
+	// Digipeater is a standalone AX.25 repeater.
+	Digipeater = tnc.Digipeater
+	// RadioChannel is the shared RF medium.
+	RadioChannel = radio.Channel
+	// NetROMNode is a NET/ROM backbone node.
+	NetROMNode = netrom.Node
+	// NetROMTunnel is an IP-over-NET/ROM interface.
+	NetROMTunnel = netrom.IPTunnel
+	// AppGateway is the §2.4 user-space application gateway.
+	AppGateway = appgw.Gateway
+	// SerialEnd is one end of a simulated RS-232 line.
+	SerialEnd = serial.End
+	// RadioParams are per-transceiver channel-access parameters.
+	RadioParams = radio.Params
+)
+
+// DefaultRadioParams returns KISS-standard channel-access parameters.
+func DefaultRadioParams() RadioParams { return radio.DefaultParams() }
+
+// NewSerialLine creates a simulated RS-232 line (both ends).
+func NewSerialLine(s *Scheduler, baud int) (*SerialEnd, *SerialEnd) {
+	return serial.NewLine(s, baud)
+}
+
+// NewNativeTNC builds a ROM-firmware TNC for terminal users.
+func NewNativeTNC(s *Scheduler, host *SerialEnd, rf *radio.Transceiver, call AX25Addr) *NativeTNC {
+	return tnc.NewNative(s, host, rf, call)
+}
+
+// NewAppGateway wires the §2.4 application gateway to a packet-radio
+// driver and a TCP layer.
+func NewAppGateway(s *Scheduler, drv *Driver, tp *TCP) *AppGateway {
+	return appgw.New(s, drv, tp)
+}
+
+// RTO policy constants for TCPConfig.Mode (the §4.1 experiment knob).
+const (
+	RTOAdaptive = tcp.RTOAdaptive
+	RTOFixed    = tcp.RTOFixed
+)
+
+// NewTCP attaches a TCP layer to a host's stack.
+func NewTCP(s *Stack) *TCP { return tcp.New(s) }
+
+// NewUDP attaches a UDP layer to a host's stack.
+func NewUDP(s *Stack) *UDP { return udp.NewMux(s) }
+
+// Services.
+type (
+	TelnetServer = telnet.Server
+	TelnetClient = telnet.Client
+	FTPServer    = ftp.Server
+	FTPClient    = ftp.Client
+	SMTPServer   = smtp.Server
+	SMTPMessage  = smtp.Message
+	BBS          = bbs.Board
+	CallbookSrv  = callbook.Server
+	CallbookRec  = callbook.Record
+)
+
+// ServeTelnet starts a telnet daemon on tp.
+func ServeTelnet(tp *TCP, srv *TelnetServer) error { return telnet.Serve(tp, srv) }
+
+// ServeFTP starts an FTP daemon on tp.
+func ServeFTP(tp *TCP, srv *FTPServer) error { return ftp.Serve(tp, srv) }
+
+// ServeSMTP starts an SMTP daemon on tp.
+func ServeSMTP(tp *TCP, srv *SMTPServer) error { return smtp.Serve(tp, srv) }
+
+// SendMail submits one message to the SMTP server at addr.
+func SendMail(tp *TCP, addr IPAddr, msg SMTPMessage, done func(smtp.Result)) {
+	smtp.Send(tp, addr, msg, done)
+}
+
+// DialTelnet connects a scripted telnet client.
+func DialTelnet(tp *TCP, addr IPAddr) *TelnetClient { return telnet.DialClient(tp, addr) }
+
+// DialFTP connects a scripted FTP client.
+func DialFTP(tp *TCP, addr IPAddr) *FTPClient { return ftp.Dial(tp, addr) }
