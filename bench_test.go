@@ -6,6 +6,7 @@
 package packetradio
 
 import (
+	"fmt"
 	"io"
 	"testing"
 	"time"
@@ -14,6 +15,8 @@ import (
 	"packetradio/internal/experiments"
 	"packetradio/internal/ip"
 	"packetradio/internal/kiss"
+	"packetradio/internal/route"
+	"packetradio/internal/rspf"
 	"packetradio/internal/sim"
 	"packetradio/internal/tcp"
 	"packetradio/internal/world"
@@ -259,5 +262,117 @@ func BenchmarkSeattlePing(b *testing.B) {
 		if !ok {
 			b.Fatal("ping lost")
 		}
+	}
+}
+
+// BenchmarkE11Failover: RSPF reconvergence after gateway failure vs
+// the static-route blackhole.
+func BenchmarkE11Failover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.E11(io.Discard)
+		if i == 0 {
+			reportMetrics(b, r, "rspf_convergence_s", "rspf_delivered_after_fail")
+		}
+	}
+}
+
+// BenchmarkE12RoutingOverhead: RSPF control-plane airtime on 1200 bps.
+func BenchmarkE12RoutingOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.E12(io.Discard)
+		if i == 0 {
+			reportMetrics(b, r, "util_pct_hello10", "util_pct_hello60")
+		}
+	}
+}
+
+// BenchmarkE13Churn: delivery ratio under link churn.
+func BenchmarkE13Churn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.E13(io.Discard)
+		if i == 0 {
+			reportMetrics(b, r, "static_ratio", "rspf_ratio")
+		}
+	}
+}
+
+// benchTable builds a routing table of n entries: a default route,
+// net routes, and host routes, in the proportions a busy RSPF gateway
+// carries.
+func benchTable(n int) (*route.Table, []ip.Addr) {
+	tb := route.New()
+	tb.AddDefault(ip.MustAddr("128.95.1.1"), "qe0")
+	var probes []ip.Addr
+	for i := 0; i < n; i++ {
+		a := ip.AddrFrom(44, byte(i>>8), byte(i), 1)
+		if i%4 == 0 {
+			tb.AddNet(ip.AddrFrom(44, byte(i>>8), byte(i), 0), ip.MaskClassC, ip.MustAddr("44.24.0.28"), "pr0")
+		} else {
+			tb.AddHost(a, ip.MustAddr("44.24.0.28"), "pr0")
+		}
+		probes = append(probes, a)
+	}
+	return tb, probes
+}
+
+// BenchmarkRouteLookup measures the longest-prefix match the forward
+// path runs per packet, at gateway table sizes (the linear scan this
+// table uses was plenty in 1988; this tracks when it stops being so).
+func BenchmarkRouteLookup(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("entries=%d", n), func(b *testing.B) {
+			tb, probes := benchTable(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := tb.Lookup(probes[i%len(probes)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// benchLSDB builds a ~50-router link-state database shaped like a
+// regional AMPRnet: a ring of radio routers with Ethernet chords, each
+// advertising its connected networks and /32 stub.
+func benchLSDB(n int) (*rspf.Database, ip.Addr) {
+	db := rspf.NewDatabase()
+	id := func(i int) ip.Addr { return ip.AddrFrom(44, 24, byte(i), 1) }
+	for i := 0; i < n; i++ {
+		l := &rspf.LSA{Router: id(i), Seq: 1}
+		add := func(j int, cost uint16) {
+			l.Links = append(l.Links, rspf.Link{Neighbor: id((j + n) % n), Cost: cost})
+		}
+		add(i-1, 8333)
+		add(i+1, 8333)
+		// Every fourth router pair shares an Ethernet chord.
+		if i%4 == 0 {
+			add(i+n/2, 1)
+		}
+		if (i+n/2)%n%4 == 0 {
+			add(i-n/2, 1)
+		}
+		l.Networks = append(l.Networks,
+			rspf.Network{Prefix: ip.AddrFrom(44, 24, byte(i), 0), Mask: ip.MaskClassC, Cost: 8333},
+			rspf.Network{Prefix: id(i), Mask: ip.MaskHost, Cost: 0})
+		db.Install(l, 0)
+	}
+	return db, id(0)
+}
+
+// BenchmarkSPF measures one full Dijkstra over a 50-router LSA
+// database — the computation every topology change triggers on every
+// router.
+func BenchmarkSPF(b *testing.B) {
+	db, root := benchLSDB(50)
+	paths := db.ShortestPaths(root)
+	if len(paths) != 50 {
+		b.Fatalf("SPF reached %d of 50 routers", len(paths))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.ShortestPaths(root)
 	}
 }

@@ -37,6 +37,9 @@ var index = []struct {
 	{"E8", "§2.4: IP over the NET/ROM backbone", experiments.E8},
 	{"E9", "§2.3/§5: telnet, FTP, SMTP across the gateway", experiments.E9},
 	{"E10", "substrate: CSMA channel capacity", experiments.E10},
+	{"E11", "RSPF reconverges after gateway failure; static blackholes", experiments.E11},
+	{"E12", "RSPF control-plane overhead on the 1200 bps channel", experiments.E12},
+	{"E13", "delivery ratio under link churn: static vs RSPF", experiments.E13},
 }
 
 func main() {

@@ -1,0 +1,3 @@
+module packetradio
+
+go 1.22

@@ -53,6 +53,11 @@ type Segment struct {
 	nics    []*NIC
 	nextMAC uint32
 
+	// blocked holds ordered NIC pairs (from,to) whose frames are
+	// suppressed — a cut cable or failed transceiver tap, used by the
+	// topology-churn experiments. Default (empty) is full connectivity.
+	blocked map[[2]*NIC]bool
+
 	// Stats.
 	Frames uint64
 	Bytes  uint64
@@ -63,7 +68,13 @@ func NewSegment(sched *sim.Scheduler, bitRate int) *Segment {
 	if bitRate <= 0 {
 		bitRate = DefaultBitRate
 	}
-	return &Segment{sched: sched, bitRate: bitRate, nextMAC: 1}
+	return &Segment{sched: sched, bitRate: bitRate, nextMAC: 1, blocked: make(map[[2]*NIC]bool)}
+}
+
+// SetReachable declares whether frames from one NIC reach another
+// (directed). All pairs start reachable.
+func (g *Segment) SetReachable(from, to *NIC, ok bool) {
+	g.blocked[[2]*NIC{from, to}] = !ok
 }
 
 // txTime is the serialization delay for a frame of n payload bytes.
@@ -125,6 +136,9 @@ func (n *NIC) Stats() *netif.Stats { return &n.stats }
 
 // MAC reports the hardware address.
 func (n *NIC) MAC() MAC { return n.mac }
+
+// Segment reports which segment the NIC is attached to.
+func (n *NIC) Segment() *Segment { return n.seg }
 
 // Resolver exposes the driver's ARP engine (for static entries and
 // stats in experiments).
@@ -188,7 +202,7 @@ func (n *NIC) transmit(dst MAC, etherType uint16, payload []byte) {
 	g.Bytes += uint64(len(frame))
 	delay := g.txTime(len(payload))
 	for _, other := range g.nics {
-		if other == n {
+		if other == n || g.blocked[[2]*NIC{n, other}] {
 			continue
 		}
 		o := other

@@ -211,3 +211,33 @@ func TestBroadcastIPDelivery(t *testing.T) {
 		t.Fatalf("broadcast not delivered: b=%d c=%d", b.stack.Stats.Received, c.stack.Stats.Received)
 	}
 }
+
+func TestSegmentSetReachableCutsPair(t *testing.T) {
+	s := sim.NewScheduler(9)
+	g := NewSegment(s, 0)
+	a := newHost(s, g, "alpha", "128.95.1.1")
+	b := newHost(s, g, "beta", "128.95.1.2")
+
+	ping := func() bool {
+		ok := false
+		a.stack.Ping(ip.MustAddr("128.95.1.2"), 56, func(_ uint16, _ time.Duration, _ ip.Addr) {
+			ok = true
+			s.Halt()
+		})
+		s.RunFor(10 * time.Second)
+		return ok
+	}
+	if !ping() {
+		t.Fatal("baseline ping failed")
+	}
+	g.SetReachable(a.nic, b.nic, false)
+	g.SetReachable(b.nic, a.nic, false)
+	if ping() {
+		t.Fatal("ping crossed a cut pair")
+	}
+	g.SetReachable(a.nic, b.nic, true)
+	g.SetReachable(b.nic, a.nic, true)
+	if !ping() {
+		t.Fatal("ping failed after restore")
+	}
+}

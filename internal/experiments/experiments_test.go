@@ -4,6 +4,7 @@ import (
 	"io"
 	"strings"
 	"testing"
+	"time"
 )
 
 // These tests assert the *shape* of each reproduced result — who wins,
@@ -179,13 +180,81 @@ func TestE10CSMASaturates(t *testing.T) {
 func TestRunAllProducesReadableReport(t *testing.T) {
 	var sb strings.Builder
 	results := RunAll(&sb)
-	if len(results) != 12 {
+	if len(results) != 15 {
 		t.Fatalf("got %d results", len(results))
 	}
 	out := sb.String()
-	for _, id := range []string{"F1", "F2a", "F2b", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"} {
+	for _, id := range []string{"F1", "F2a", "F2b", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"} {
 		if !strings.Contains(out, "== "+id) {
 			t.Fatalf("report missing section %s", id)
 		}
+	}
+}
+
+func TestE11RSPFConvergesWhereStaticBlackholes(t *testing.T) {
+	r := E11(io.Discard)
+	// The static control must deliver nothing after the gateway dies.
+	if got := r.Get("static_delivered_after_fail"); got != 0 {
+		t.Fatalf("static delivered %.0f probes after failure, want 0", got)
+	}
+	if r.Get("static_sent_after_fail") < 30 {
+		t.Fatalf("static run sent too few probes: %.0f", r.Get("static_sent_after_fail"))
+	}
+	// RSPF must reconverge within a bounded number of simulated
+	// seconds: neighbor death detection (4 hello intervals) plus
+	// flood, SPF hold and one probe period.
+	conv := r.Get("rspf_convergence_s")
+	if conv < 0 {
+		t.Fatal("rspf never reconverged")
+	}
+	bound := (4*e11HelloInterval + 30*time.Second).Seconds()
+	if conv > bound {
+		t.Fatalf("convergence %.0fs exceeds bound %.0fs", conv, bound)
+	}
+	// And most post-failure probes must get through.
+	got, sent := r.Get("rspf_delivered_after_fail"), r.Get("rspf_sent_after_fail")
+	if got < 0.7*sent {
+		t.Fatalf("rspf delivered %.0f/%.0f after failure", got, sent)
+	}
+}
+
+func TestE11IsBitForBitReproducible(t *testing.T) {
+	var a, b strings.Builder
+	ra := E11(&a)
+	rb := E11(&b)
+	if a.String() != b.String() {
+		t.Fatalf("E11 output differs between runs:\n%s\n---\n%s", a.String(), b.String())
+	}
+	for k, v := range ra.Metrics {
+		if rb.Metrics[k] != v {
+			t.Fatalf("metric %s: %v vs %v", k, v, rb.Metrics[k])
+		}
+	}
+}
+
+func TestE12FastTimersEatTheChannel(t *testing.T) {
+	r := E12(io.Discard)
+	fast, slow := r.Get("util_pct_hello10"), r.Get("util_pct_hello60")
+	if fast < 2*slow {
+		t.Fatalf("hello=10s util %.1f%% not clearly above hello=60s %.1f%%", fast, slow)
+	}
+	// Production timers must leave most of the channel for traffic.
+	if slow > 35 {
+		t.Fatalf("slow-timer overhead %.1f%% is too high", slow)
+	}
+	if fast <= 0 || slow <= 0 {
+		t.Fatalf("missing utilization metrics: %+v", r.Metrics)
+	}
+}
+
+func TestE13RSPFBeatsStaticUnderChurn(t *testing.T) {
+	r := E13(io.Discard)
+	st, dy := r.Get("static_ratio"), r.Get("rspf_ratio")
+	if dy <= st {
+		t.Fatalf("rspf ratio %.2f not above static %.2f", dy, st)
+	}
+	// Sanity: churn must actually hurt the static run.
+	if st > 0.9 {
+		t.Fatalf("static ratio %.2f — churn schedule had no effect", st)
 	}
 }

@@ -151,6 +151,13 @@ func (s *Stack) IfAddr(name string) (ip.Addr, ip.Mask, bool) {
 	return e.addr, e.mask, true
 }
 
+// IfNames lists the registered interfaces in attachment order —
+// daemons that send per-interface traffic (RSPF hellos) iterate this
+// so their behaviour is deterministic.
+func (s *Stack) IfNames() []string {
+	return append([]string(nil), s.order...)
+}
+
 // Addr returns the stack's primary address (first interface).
 func (s *Stack) Addr() ip.Addr {
 	if len(s.order) == 0 {
@@ -375,6 +382,34 @@ func (s *Stack) Send(proto uint8, src, dst ip.Addr, payload []byte, ttl uint8, t
 		}
 	}
 	s.transmit(pkt, ent, "out", "")
+	return nil
+}
+
+// SendVia is the raw-protocol hook: it originates a datagram out the
+// named interface without consulting the routing table. dst must be
+// on-link (or the limited broadcast) because it is handed to the
+// driver as the next hop directly. Routing daemons use this to emit
+// per-interface hellos and link-state floods before any routes exist —
+// the chicken-and-egg a routed protocol cannot solve through its own
+// routing table. The source address is the interface's own.
+func (s *Stack) SendVia(ifName string, proto uint8, dst ip.Addr, payload []byte, ttl uint8) error {
+	e, ok := s.ifs[ifName]
+	if !ok {
+		return fmt.Errorf("ipstack: SendVia on unknown interface %q", ifName)
+	}
+	s.Stats.OutRequests++
+	if ttl == 0 {
+		ttl = 1 // link-local by default, never forwarded off-net
+	}
+	pkt := &ip.Packet{
+		Header: ip.Header{
+			ID: s.allocID(), TTL: ttl, Proto: proto, Src: e.addr, Dst: dst,
+		},
+		Payload: payload,
+	}
+	// A synthetic on-link route entry reuses the shared fragmentation
+	// and tap path; zero Gateway makes the next hop the destination.
+	s.transmit(pkt, &route.Entry{IfName: ifName, Flags: route.FlagUp}, "out", "")
 	return nil
 }
 

@@ -117,6 +117,7 @@ type transmission struct {
 	sender     *Transceiver
 	frame      []byte
 	start, end sim.Time
+	done       *sim.Event // delivery at end-of-frame; cancelled by Retune
 	// damagedAt marks receivers whose copy is destroyed by overlap.
 	damagedAt map[*Transceiver]bool
 }
@@ -189,6 +190,72 @@ func (c *Channel) Attach(name string, params Params) *Transceiver {
 
 // Stations returns the attached transceivers.
 func (c *Channel) Stations() []*Transceiver { return c.stations }
+
+// Channel reports which channel the transceiver is currently tuned to.
+func (t *Transceiver) Channel() *Channel { return t.ch }
+
+// Retune moves the transceiver to another channel — the mobility
+// primitive behind World.MoveHost. A transmission in flight is cut
+// mid-frame: stations still on the old channel receive a truncated,
+// damaged copy. Queued frames carry over and contend on the new
+// channel. Reachability overrides involving the transceiver are
+// dropped from the old channel so a later return starts from the
+// full-mesh default.
+func (t *Transceiver) Retune(to *Channel) {
+	old := t.ch
+	if old == to || to == nil {
+		return
+	}
+	for i, s := range old.stations {
+		if s == t {
+			old.stations = append(old.stations[:i], old.stations[i+1:]...)
+			break
+		}
+	}
+	// Cut any transmission in flight: cancel its end-of-frame
+	// completion (which would otherwise clobber the sender's state
+	// while it may already be transmitting on the new channel),
+	// remove the carrier from the old channel, and deliver the
+	// truncated frame — damaged — to the stations that were hearing
+	// it. The sender's transmit state is cleared so the new channel
+	// does not see a phantom half-duplex window.
+	now := old.sched.Now()
+	for i := len(old.active) - 1; i >= 0; i-- {
+		tx := old.active[i]
+		if tx.sender != t {
+			continue
+		}
+		old.sched.Cancel(tx.done)
+		old.active = append(old.active[:i], old.active[i+1:]...)
+		for _, r := range old.stations {
+			if !old.reachable(t, r) {
+				continue
+			}
+			if !r.Params.FullDuplex && r.txStart < now && r.txEnd > tx.start {
+				r.Stats.HalfDuplexMiss++
+				continue
+			}
+			r.Stats.FramesDamaged++
+			old.Stats.FramesDamaged++
+			if r.rx != nil {
+				r.rx(append([]byte(nil), tx.frame...), true)
+			}
+		}
+	}
+	t.transmitting = false
+	t.txStart, t.txEnd = 0, 0
+	for pair := range old.unreachable {
+		if pair[0] == t || pair[1] == t {
+			delete(old.unreachable, pair)
+		}
+	}
+	t.ch = to
+	to.stations = append(to.stations, t)
+	if len(t.queue) > 0 && !t.contending {
+		t.contending = true
+		to.sched.At(to.sched.Now(), t.contend)
+	}
+}
 
 // SetReceiver installs the frame-delivery callback.
 func (t *Transceiver) SetReceiver(rx func(frame []byte, damaged bool)) { t.rx = rx }
@@ -285,7 +352,7 @@ func (t *Transceiver) transmit(frame []byte) {
 		}
 	}
 	c.active = append(c.active, tx)
-	c.sched.At(tx.end, func() { c.complete(tx) })
+	tx.done = c.sched.At(tx.end, func() { c.complete(tx) })
 }
 
 func (c *Channel) complete(tx *transmission) {

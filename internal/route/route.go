@@ -22,6 +22,7 @@ const (
 	FlagGateway                   // next hop is a gateway, not on-link
 	FlagHost                      // host route (mask /32)
 	FlagStatic                    // manually configured
+	FlagDynamic                   // installed by a routing daemon (RSPF)
 )
 
 func (f Flags) String() string {
@@ -29,7 +30,7 @@ func (f Flags) String() string {
 	for _, fl := range []struct {
 		bit Flags
 		ch  byte
-	}{{FlagUp, 'U'}, {FlagGateway, 'G'}, {FlagHost, 'H'}, {FlagStatic, 'S'}} {
+	}{{FlagUp, 'U'}, {FlagGateway, 'G'}, {FlagHost, 'H'}, {FlagStatic, 'S'}, {FlagDynamic, 'D'}} {
 		if f&fl.bit != 0 {
 			b.WriteByte(fl.ch)
 		}
@@ -44,6 +45,8 @@ type Entry struct {
 	Gateway ip.Addr // meaningful when FlagGateway set
 	IfName  string  // outgoing interface
 	Flags   Flags
+	Owner   string // which daemon installed it ("" for static/kernel)
+	Metric  uint32 // daemon path cost (0 for static routes)
 	Use     uint64 // packets routed via this entry
 }
 
@@ -125,6 +128,84 @@ func (t *Table) Delete(dest ip.Addr, mask ip.Mask) bool {
 		}
 	}
 	return false
+}
+
+// WithdrawOwner removes every route installed by owner, returning how
+// many were removed. Static routes (empty owner) are never touched by
+// a daemon's withdrawal.
+func (t *Table) WithdrawOwner(owner string) int {
+	if owner == "" {
+		return 0
+	}
+	kept := t.entries[:0]
+	n := 0
+	for _, e := range t.entries {
+		if e.Owner == owner {
+			n++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	t.entries = kept
+	return n
+}
+
+// ReplaceOwned atomically swaps the full set of routes owned by owner:
+// every existing route with that owner is removed and entries (which
+// are tagged with owner and FlagDynamic) are installed in one step, so
+// no Lookup ever observes a half-updated table. The Use counter of a
+// route that survives the swap unchanged (same destination, gateway
+// and interface) is preserved. Returns the number installed.
+func (t *Table) ReplaceOwned(owner string, entries []*Entry) int {
+	if owner == "" {
+		panic("route: ReplaceOwned requires a non-empty owner")
+	}
+	old := make(map[[2]ip.Addr]*Entry) // (dest, mask-as-addr) -> entry
+	for _, e := range t.entries {
+		if e.Owner == owner {
+			old[[2]ip.Addr{e.Dest, ip.Addr(e.Mask)}] = e
+		}
+	}
+	t.WithdrawOwner(owner)
+	installed := 0
+	for _, e := range entries {
+		e.Owner = owner
+		e.Flags |= FlagUp | FlagDynamic
+		e.Dest = e.Mask.Apply(e.Dest)
+		if ex := t.find(e.Dest, e.Mask); ex != nil && ex.Owner != owner {
+			// Never clobber a route someone else (static config or
+			// another daemon) installed for the same destination.
+			continue
+		}
+		installed++
+		if prev, ok := old[[2]ip.Addr{e.Dest, ip.Addr(e.Mask)}]; ok &&
+			prev.Gateway == e.Gateway && prev.IfName == e.IfName {
+			e.Use = prev.Use
+		}
+		t.insert(e)
+	}
+	return installed
+}
+
+// find returns the entry exactly matching dest/mask, if any.
+func (t *Table) find(dest ip.Addr, mask ip.Mask) *Entry {
+	for _, e := range t.entries {
+		if e.Dest == dest && e.Mask == mask {
+			return e
+		}
+	}
+	return nil
+}
+
+// OwnedBy returns the routes installed by owner, most specific first.
+func (t *Table) OwnedBy(owner string) []*Entry {
+	var out []*Entry
+	for _, e := range t.entries {
+		if e.Owner == owner {
+			out = append(out, e)
+		}
+	}
+	return out
 }
 
 // Lookup finds the most specific usable route for dst.

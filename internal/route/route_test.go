@@ -140,3 +140,156 @@ func TestDownRouteSkipped(t *testing.T) {
 		t.Fatal("down route used")
 	}
 }
+
+// --- Daemon churn: the substrate RSPF mutates ---------------------------
+
+func dynEntry(dest string, mask ip.Mask, gw, ifn string) *Entry {
+	return &Entry{Dest: ip.MustAddr(dest), Mask: mask, Gateway: ip.MustAddr(gw),
+		IfName: ifn, Flags: FlagGateway}
+}
+
+func TestReplaceOwnedInstallsAndTags(t *testing.T) {
+	tb := New()
+	n := tb.ReplaceOwned("rspf", []*Entry{
+		dynEntry("128.95.0.0", ip.MaskClassB, "44.24.0.28", "pr0"),
+		dynEntry("128.95.1.2", ip.MaskHost, "44.24.0.28", "pr0"),
+	})
+	if n != 2 {
+		t.Fatalf("installed %d", n)
+	}
+	e, err := tb.Lookup(ip.MustAddr("128.95.1.2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Owner != "rspf" || e.Flags&FlagDynamic == 0 || e.Flags&FlagUp == 0 {
+		t.Fatalf("entry not tagged: %v owner=%q", e, e.Owner)
+	}
+	if e.Mask != ip.MaskHost {
+		t.Fatalf("host route did not win ordering: %v", e)
+	}
+}
+
+func TestReplaceOwnedIsAtomicSwap(t *testing.T) {
+	tb := New()
+	tb.ReplaceOwned("rspf", []*Entry{
+		dynEntry("128.95.0.0", ip.MaskClassB, "44.24.0.28", "pr0"),
+		dynEntry("10.0.0.0", ip.MaskClassA, "44.24.0.28", "pr0"),
+	})
+	// The new set drops 10/8 and changes 128.95/16's gateway.
+	tb.ReplaceOwned("rspf", []*Entry{
+		dynEntry("128.95.0.0", ip.MaskClassB, "44.24.0.29", "pr0"),
+	})
+	if _, err := tb.Lookup(ip.MustAddr("10.1.1.1")); err == nil {
+		t.Fatal("withdrawn route still present")
+	}
+	e, _ := tb.Lookup(ip.MustAddr("128.95.9.9"))
+	if e == nil || e.Gateway != ip.MustAddr("44.24.0.29") {
+		t.Fatalf("replacement gateway: %v", e)
+	}
+	if got := len(tb.OwnedBy("rspf")); got != 1 {
+		t.Fatalf("OwnedBy = %d entries", got)
+	}
+}
+
+func TestReplaceOwnedPreservesUseOfUnchangedRoutes(t *testing.T) {
+	tb := New()
+	mk := func() []*Entry {
+		return []*Entry{dynEntry("128.95.0.0", ip.MaskClassB, "44.24.0.28", "pr0")}
+	}
+	tb.ReplaceOwned("rspf", mk())
+	for i := 0; i < 5; i++ {
+		tb.Lookup(ip.MustAddr("128.95.1.2"))
+	}
+	tb.ReplaceOwned("rspf", mk()) // identical set: Use survives
+	e, _ := tb.Lookup(ip.MustAddr("128.95.1.2"))
+	if e.Use != 6 {
+		t.Fatalf("Use = %d, want 6 (5 preserved + 1)", e.Use)
+	}
+	// A changed gateway resets the counter.
+	tb.ReplaceOwned("rspf", []*Entry{dynEntry("128.95.0.0", ip.MaskClassB, "44.24.0.29", "pr0")})
+	e, _ = tb.Lookup(ip.MustAddr("128.95.1.2"))
+	if e.Use != 1 {
+		t.Fatalf("Use after gateway change = %d, want 1", e.Use)
+	}
+}
+
+func TestReplaceOwnedNeverClobbersStatic(t *testing.T) {
+	tb := New()
+	tb.AddNet(ip.MustAddr("128.95.0.0"), ip.MaskClassB, ip.MustAddr("10.0.0.1"), "qe0")
+	n := tb.ReplaceOwned("rspf", []*Entry{
+		dynEntry("128.95.0.0", ip.MaskClassB, "44.24.0.28", "pr0"),
+		dynEntry("44.24.0.5", ip.MaskHost, "44.24.0.28", "pr0"),
+	})
+	if n != 1 {
+		t.Fatalf("installed %d, want 1 (static shadowed one)", n)
+	}
+	e, _ := tb.Lookup(ip.MustAddr("128.95.1.1"))
+	if e.Gateway != ip.MustAddr("10.0.0.1") || e.Owner != "" {
+		t.Fatalf("static route clobbered: %v", e)
+	}
+	// Withdrawing the daemon must not touch the static route.
+	tb.WithdrawOwner("rspf")
+	if _, err := tb.Lookup(ip.MustAddr("128.95.1.1")); err != nil {
+		t.Fatal("static route lost on withdraw")
+	}
+}
+
+func TestWithdrawOwnerEmptyOwnerIsNoop(t *testing.T) {
+	tb := New()
+	tb.AddNet(ip.MustAddr("44.0.0.0"), ip.Mask{}, ip.Addr{}, "pr0")
+	if n := tb.WithdrawOwner(""); n != 0 {
+		t.Fatalf("withdrew %d static routes", n)
+	}
+	if len(tb.Entries()) != 1 {
+		t.Fatal("static route removed by empty-owner withdraw")
+	}
+}
+
+func TestChurnInterleavedPreservesLookupOrdering(t *testing.T) {
+	// Interleave static adds/deletes with daemon swaps and verify the
+	// host > net > default precedence holds at every step.
+	tb := New()
+	tb.AddNet(ip.MustAddr("44.0.0.0"), ip.Mask{}, ip.Addr{}, "pr0")
+	tb.AddDefault(ip.MustAddr("44.24.0.28"), "pr0")
+
+	check := func(step, dst, wantIf string, wantBits int) {
+		e, err := tb.Lookup(ip.MustAddr(dst))
+		if err != nil {
+			t.Fatalf("%s: %v", step, err)
+		}
+		if e.IfName != wantIf || e.Mask.Bits() != wantBits {
+			t.Fatalf("%s: Lookup(%s) = %v, want dev %s /%d", step, dst, e, wantIf, wantBits)
+		}
+	}
+	check("init", "128.95.1.2", "pr0", 0) // default
+
+	tb.ReplaceOwned("rspf", []*Entry{
+		dynEntry("128.95.0.0", ip.MaskClassB, "44.24.0.28", "pr1"),
+	})
+	check("net", "128.95.1.2", "pr1", 16) // /16 beats default
+
+	tb.ReplaceOwned("rspf", []*Entry{
+		dynEntry("128.95.0.0", ip.MaskClassB, "44.24.0.28", "pr1"),
+		dynEntry("128.95.1.2", ip.MaskHost, "44.24.0.29", "pr2"),
+	})
+	check("host", "128.95.1.2", "pr2", 32) // /32 beats /16
+
+	tb.AddHost(ip.MustAddr("44.24.0.77"), ip.Addr{}, "pr3")
+	check("static-host", "44.24.0.77", "pr3", 32)
+	check("net-again", "44.24.0.78", "pr0", 8)
+
+	tb.ReplaceOwned("rspf", nil) // daemon withdraws everything
+	check("withdrawn", "128.95.1.2", "pr0", 0)
+	if !tb.Delete(ip.MustAddr("44.24.0.77"), ip.MaskHost) {
+		t.Fatal("static delete failed")
+	}
+	check("final", "44.24.0.77", "pr0", 8)
+}
+
+func TestDynamicFlagString(t *testing.T) {
+	e := dynEntry("128.95.0.0", ip.MaskClassB, "44.24.0.28", "pr0")
+	e.Flags |= FlagUp | FlagDynamic
+	if got := e.Flags.String(); got != "UGD" {
+		t.Fatalf("Flags.String() = %q", got)
+	}
+}

@@ -1,0 +1,158 @@
+package rspf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"packetradio/internal/ip"
+	"packetradio/internal/sim"
+)
+
+// Database is the link-state database: the most recent LSA from every
+// known router, with arrival times for aging out routers that died
+// without saying goodbye.
+type Database struct {
+	lsas    map[ip.Addr]*LSA
+	arrival map[ip.Addr]sim.Time
+}
+
+// NewDatabase returns an empty LSDB.
+func NewDatabase() *Database {
+	return &Database{
+		lsas:    make(map[ip.Addr]*LSA),
+		arrival: make(map[ip.Addr]sim.Time),
+	}
+}
+
+// Install adopts l if it is newer (higher Seq) than the stored copy
+// from the same router, reporting whether it was adopted. The arrival
+// time feeds aging.
+func (d *Database) Install(l *LSA, now sim.Time) bool {
+	if old, ok := d.lsas[l.Router]; ok && old.Seq >= l.Seq {
+		return false
+	}
+	d.lsas[l.Router] = l
+	d.arrival[l.Router] = now
+	return true
+}
+
+// Get returns the stored LSA for a router.
+func (d *Database) Get(id ip.Addr) (*LSA, bool) {
+	l, ok := d.lsas[id]
+	return l, ok
+}
+
+// Len reports how many routers the database knows.
+func (d *Database) Len() int { return len(d.lsas) }
+
+// IDs returns the known router IDs in ascending address order — the
+// canonical iteration order everywhere in this package, so that runs
+// are deterministic despite Go's randomized map iteration.
+func (d *Database) IDs() []ip.Addr {
+	ids := make([]ip.Addr, 0, len(d.lsas))
+	for id := range d.lsas {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Uint32() < ids[j].Uint32() })
+	return ids
+}
+
+// Purge drops LSAs that arrived before cutoff, except the one from
+// keep (a router never ages out its own advertisement). Returns how
+// many were dropped.
+func (d *Database) Purge(cutoff sim.Time, keep ip.Addr) int {
+	n := 0
+	for _, id := range d.IDs() {
+		if id == keep {
+			continue
+		}
+		if d.arrival[id] < cutoff {
+			delete(d.lsas, id)
+			delete(d.arrival, id)
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the database for debugging.
+func (d *Database) String() string {
+	var b strings.Builder
+	for _, id := range d.IDs() {
+		fmt.Fprintln(&b, d.lsas[id])
+	}
+	return b.String()
+}
+
+// Path is the SPF result for one destination router: total cost from
+// the root and the ID of the first-hop router on the shortest path
+// (equal to the destination itself for direct neighbors).
+type Path struct {
+	Dist     uint32
+	FirstHop ip.Addr
+}
+
+// ShortestPaths runs Dijkstra over the database rooted at root. A link
+// A→B is traversed only when B's LSA also reports a link back to A
+// (the two-way check that stops a half-dead adjacency from attracting
+// traffic). Ties are broken toward the lower router ID, so the result
+// is deterministic. Routers unreachable from root are absent from the
+// returned map; root itself is present with Dist 0.
+func (d *Database) ShortestPaths(root ip.Addr) map[ip.Addr]Path {
+	paths := map[ip.Addr]Path{root: {Dist: 0, FirstHop: root}}
+	if _, ok := d.lsas[root]; !ok {
+		return paths
+	}
+	done := make(map[ip.Addr]bool)
+	ids := d.IDs()
+	for {
+		// Extract the undone node with the smallest (dist, id). The
+		// database is small (tens of routers), so a linear scan over
+		// sorted IDs beats heap bookkeeping and is trivially
+		// deterministic.
+		var cur ip.Addr
+		best := uint32(0)
+		found := false
+		for _, id := range ids {
+			p, ok := paths[id]
+			if !ok || done[id] {
+				continue
+			}
+			if !found || p.Dist < best {
+				cur, best, found = id, p.Dist, true
+			}
+		}
+		if !found {
+			return paths
+		}
+		done[cur] = true
+		lsa := d.lsas[cur]
+		for _, ln := range lsa.Links {
+			back, ok := d.lsas[ln.Neighbor]
+			if !ok || !hasLink(back, cur) {
+				continue
+			}
+			cand := Path{Dist: best + uint32(ln.Cost), FirstHop: paths[cur].FirstHop}
+			if cur == root {
+				cand.FirstHop = ln.Neighbor
+			}
+			old, seen := paths[ln.Neighbor]
+			if !seen || cand.Dist < old.Dist ||
+				(cand.Dist == old.Dist && cand.FirstHop.Uint32() < old.FirstHop.Uint32()) {
+				if !done[ln.Neighbor] {
+					paths[ln.Neighbor] = cand
+				}
+			}
+		}
+	}
+}
+
+func hasLink(l *LSA, to ip.Addr) bool {
+	for _, ln := range l.Links {
+		if ln.Neighbor == to {
+			return true
+		}
+	}
+	return false
+}

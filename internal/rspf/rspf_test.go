@@ -1,0 +1,202 @@
+package rspf
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"packetradio/internal/ip"
+	"packetradio/internal/sim"
+)
+
+func TestHelloRoundTrip(t *testing.T) {
+	h := &Hello{
+		Router: ip.MustAddr("44.24.0.28"),
+		Seq:    9001,
+		Heard:  []ip.Addr{ip.MustAddr("44.24.0.10"), ip.MustAddr("44.24.0.11")},
+	}
+	got, err := Decode(h.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, ok := got.(*Hello)
+	if !ok {
+		t.Fatalf("decoded %T", got)
+	}
+	if h2.Router != h.Router || h2.Seq != h.Seq || len(h2.Heard) != 2 ||
+		h2.Heard[0] != h.Heard[0] || h2.Heard[1] != h.Heard[1] {
+		t.Fatalf("round trip: %+v", h2)
+	}
+}
+
+func TestLSARoundTrip(t *testing.T) {
+	l := &LSA{
+		Router: ip.MustAddr("128.95.1.1"),
+		Seq:    7,
+		Links: []Link{
+			{Neighbor: ip.MustAddr("44.24.0.10"), Cost: 8333},
+			{Neighbor: ip.MustAddr("128.95.1.2"), Cost: 1},
+		},
+		Networks: []Network{
+			{Prefix: ip.MustAddr("44.0.0.0"), Mask: ip.MaskClassA, Cost: 8333},
+			{Prefix: ip.MustAddr("128.95.1.1"), Mask: ip.MaskHost, Cost: 0},
+		},
+	}
+	got, err := Decode(l.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, ok := got.(*LSA)
+	if !ok {
+		t.Fatalf("decoded %T", got)
+	}
+	if l2.Router != l.Router || l2.Seq != l.Seq ||
+		len(l2.Links) != 2 || l2.Links[0] != l.Links[0] || l2.Links[1] != l.Links[1] ||
+		len(l2.Networks) != 2 || l2.Networks[0] != l.Networks[0] || l2.Networks[1] != l.Networks[1] {
+		t.Fatalf("round trip: %+v", l2)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{Version},
+		{Version, 99, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+		{2, msgHello, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+		(&Hello{Seq: 1, Heard: []ip.Addr{{1, 2, 3, 4}}}).Marshal()[:13], // truncated heard list
+	}
+	for i, buf := range cases {
+		if _, err := Decode(buf); err == nil {
+			t.Fatalf("case %d: decoded garbage", i)
+		}
+	}
+}
+
+func TestDatabaseInstallOrdering(t *testing.T) {
+	d := NewDatabase()
+	a := ip.MustAddr("10.0.0.1")
+	if !d.Install(&LSA{Router: a, Seq: 3}, 0) {
+		t.Fatal("first install refused")
+	}
+	if d.Install(&LSA{Router: a, Seq: 3}, 0) {
+		t.Fatal("equal seq adopted")
+	}
+	if d.Install(&LSA{Router: a, Seq: 2}, 0) {
+		t.Fatal("older seq adopted")
+	}
+	if !d.Install(&LSA{Router: a, Seq: 4}, 0) {
+		t.Fatal("newer seq refused")
+	}
+	if l, _ := d.Get(a); l.Seq != 4 {
+		t.Fatalf("stored seq = %d", l.Seq)
+	}
+}
+
+func TestDatabasePurgeKeepsSelf(t *testing.T) {
+	d := NewDatabase()
+	self := ip.MustAddr("10.0.0.1")
+	other := ip.MustAddr("10.0.0.2")
+	d.Install(&LSA{Router: self, Seq: 1}, 0)
+	d.Install(&LSA{Router: other, Seq: 1}, 0)
+	if n := d.Purge(sim.Time(time.Hour), self); n != 1 {
+		t.Fatalf("purged %d", n)
+	}
+	if _, ok := d.Get(self); !ok {
+		t.Fatal("self purged")
+	}
+	if _, ok := d.Get(other); ok {
+		t.Fatal("stale LSA survived")
+	}
+}
+
+// buildDiamond wires A-B-D and A-C-D with the given costs, all links
+// two-way.
+func buildDiamond(ab, ac, bd, cd uint16) (*Database, [4]ip.Addr) {
+	a, b := ip.MustAddr("10.0.0.1"), ip.MustAddr("10.0.0.2")
+	c, dd := ip.MustAddr("10.0.0.3"), ip.MustAddr("10.0.0.4")
+	d := NewDatabase()
+	d.Install(&LSA{Router: a, Seq: 1, Links: []Link{{b, ab}, {c, ac}}}, 0)
+	d.Install(&LSA{Router: b, Seq: 1, Links: []Link{{a, ab}, {dd, bd}}}, 0)
+	d.Install(&LSA{Router: c, Seq: 1, Links: []Link{{a, ac}, {dd, cd}}}, 0)
+	d.Install(&LSA{Router: dd, Seq: 1, Links: []Link{{b, bd}, {c, cd}}}, 0)
+	return d, [4]ip.Addr{a, b, c, dd}
+}
+
+func TestShortestPathsPicksCheaperBranch(t *testing.T) {
+	d, n := buildDiamond(10, 1, 10, 1)
+	paths := d.ShortestPaths(n[0])
+	p, ok := paths[n[3]]
+	if !ok {
+		t.Fatal("D unreachable")
+	}
+	if p.Dist != 2 || p.FirstHop != n[2] {
+		t.Fatalf("path to D = %+v, want dist 2 via C", p)
+	}
+}
+
+func TestShortestPathsTieBreaksLowerID(t *testing.T) {
+	d, n := buildDiamond(5, 5, 5, 5)
+	paths := d.ShortestPaths(n[0])
+	p := paths[n[3]]
+	// Both branches cost 10; the deterministic winner is the lower
+	// first-hop ID (B = 10.0.0.2).
+	if p.Dist != 10 || p.FirstHop != n[1] {
+		t.Fatalf("path to D = %+v, want dist 10 via B", p)
+	}
+}
+
+func TestShortestPathsTwoWayCheck(t *testing.T) {
+	a, b := ip.MustAddr("10.0.0.1"), ip.MustAddr("10.0.0.2")
+	d := NewDatabase()
+	// A claims a link to B, but B does not reciprocate (half-dead RF
+	// path): B must stay unreachable.
+	d.Install(&LSA{Router: a, Seq: 1, Links: []Link{{b, 1}}}, 0)
+	d.Install(&LSA{Router: b, Seq: 1}, 0)
+	if _, ok := d.ShortestPaths(a)[b]; ok {
+		t.Fatal("one-way link traversed")
+	}
+}
+
+func TestShortestPathsChain(t *testing.T) {
+	// A straight 10-node chain: dist grows linearly, first hop is
+	// always the immediate neighbor.
+	d := NewDatabase()
+	ids := make([]ip.Addr, 10)
+	for i := range ids {
+		ids[i] = ip.AddrFrom(10, 0, 0, byte(i+1))
+	}
+	for i := range ids {
+		l := &LSA{Router: ids[i], Seq: 1}
+		if i > 0 {
+			l.Links = append(l.Links, Link{ids[i-1], 3})
+		}
+		if i < len(ids)-1 {
+			l.Links = append(l.Links, Link{ids[i+1], 3})
+		}
+		d.Install(l, 0)
+	}
+	paths := d.ShortestPaths(ids[0])
+	for i := 1; i < len(ids); i++ {
+		p := paths[ids[i]]
+		if p.Dist != uint32(3*i) || p.FirstHop != ids[1] {
+			t.Fatalf("node %d: %+v", i, p)
+		}
+	}
+}
+
+func TestShortestPathsDeterministic(t *testing.T) {
+	// Same database built twice must give byte-identical results —
+	// the property every convergence experiment depends on.
+	render := func() string {
+		d, n := buildDiamond(5, 5, 5, 5)
+		paths := d.ShortestPaths(n[0])
+		s := ""
+		for _, id := range d.IDs() {
+			s += fmt.Sprintf("%s:%v;", id, paths[id])
+		}
+		return s
+	}
+	if a, b := render(), render(); a != b {
+		t.Fatalf("nondeterministic SPF:\n%s\n%s", a, b)
+	}
+}

@@ -1,0 +1,184 @@
+// Package rspf is a Radio-Shortest-Path-First style link-state routing
+// daemon — the amateur-radio community's answer to the paper's §4.2
+// problem, that classful routing forces all AMPRnet traffic through a
+// single static gateway. Each router probes adjacency with periodic
+// hellos, floods link-state advertisements describing its neighbors
+// and attached networks, runs Dijkstra with radio-aware link costs
+// (channel bit rate degraded by observed hello loss), and installs the
+// resulting next hops into the kernel routing table as dynamic routes.
+//
+// The protocol rides directly on IP with its own protocol number (73,
+// the number IANA assigned to the real RSPF), using the stack's raw
+// per-interface send hook: a routing daemon cannot depend on the very
+// routing table it populates. All timers draw jitter from the
+// simulation's seeded random source, and every internal iteration is
+// over sorted keys, so entire convergence histories are bit-for-bit
+// reproducible for a fixed seed.
+package rspf
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"packetradio/internal/ip"
+)
+
+// Proto is the IP protocol number RSPF datagrams are carried in.
+const Proto = 73
+
+// Version is the wire-format version.
+const Version = 1
+
+// Message type octets.
+const (
+	msgHello = 1
+	msgLSA   = 2
+)
+
+// Hello is the periodic per-interface adjacency probe. Heard lists the
+// router IDs recently received on the same interface so the receiver
+// can confirm two-way connectivity; Seq increases by one per hello per
+// interface so receivers can estimate link loss from sequence gaps.
+type Hello struct {
+	Router ip.Addr // originator's router ID
+	Seq    uint32
+	Heard  []ip.Addr
+}
+
+// Link is one router-to-router adjacency in an LSA, with the
+// originator's cost for reaching that neighbor.
+type Link struct {
+	Neighbor ip.Addr
+	Cost     uint16
+}
+
+// Network is one directly attached IP network (or /32 host stub) in an
+// LSA, with the cost of the attaching interface.
+type Network struct {
+	Prefix ip.Addr
+	Mask   ip.Mask
+	Cost   uint16
+}
+
+// LSA is a link-state advertisement: the full local view of one
+// router, flooded to every other router. Higher Seq supersedes.
+type LSA struct {
+	Router   ip.Addr
+	Seq      uint32
+	Links    []Link
+	Networks []Network
+}
+
+// Wire-format errors.
+var (
+	ErrTruncated  = errors.New("rspf: truncated message")
+	ErrBadVersion = errors.New("rspf: unknown version")
+	ErrBadType    = errors.New("rspf: unknown message type")
+)
+
+// Marshal encodes the hello.
+func (h *Hello) Marshal() []byte {
+	buf := make([]byte, 0, 12+4*len(h.Heard))
+	buf = append(buf, Version, msgHello)
+	buf = append(buf, h.Router[:]...)
+	buf = binary.BigEndian.AppendUint32(buf, h.Seq)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(h.Heard)))
+	for _, id := range h.Heard {
+		buf = append(buf, id[:]...)
+	}
+	return buf
+}
+
+// Marshal encodes the LSA.
+func (l *LSA) Marshal() []byte {
+	buf := make([]byte, 0, 14+6*len(l.Links)+10*len(l.Networks))
+	buf = append(buf, Version, msgLSA)
+	buf = append(buf, l.Router[:]...)
+	buf = binary.BigEndian.AppendUint32(buf, l.Seq)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(l.Links)))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(l.Networks)))
+	for _, ln := range l.Links {
+		buf = append(buf, ln.Neighbor[:]...)
+		buf = binary.BigEndian.AppendUint16(buf, ln.Cost)
+	}
+	for _, n := range l.Networks {
+		buf = append(buf, n.Prefix[:]...)
+		buf = append(buf, n.Mask[:]...)
+		buf = binary.BigEndian.AppendUint16(buf, n.Cost)
+	}
+	return buf
+}
+
+// Clone deep-copies the LSA (floods hand the same LSA to many
+// consumers).
+func (l *LSA) Clone() *LSA {
+	c := *l
+	c.Links = append([]Link(nil), l.Links...)
+	c.Networks = append([]Network(nil), l.Networks...)
+	return &c
+}
+
+func (l *LSA) String() string {
+	return fmt.Sprintf("lsa(%s seq=%d links=%d nets=%d)", l.Router, l.Seq, len(l.Links), len(l.Networks))
+}
+
+// Decode parses one RSPF datagram payload, returning *Hello or *LSA.
+func Decode(buf []byte) (any, error) {
+	if len(buf) < 2 {
+		return nil, ErrTruncated
+	}
+	if buf[0] != Version {
+		return nil, ErrBadVersion
+	}
+	switch buf[1] {
+	case msgHello:
+		if len(buf) < 12 {
+			return nil, ErrTruncated
+		}
+		h := &Hello{}
+		copy(h.Router[:], buf[2:6])
+		h.Seq = binary.BigEndian.Uint32(buf[6:10])
+		n := int(binary.BigEndian.Uint16(buf[10:12]))
+		if len(buf) < 12+4*n {
+			return nil, ErrTruncated
+		}
+		for i := 0; i < n; i++ {
+			var id ip.Addr
+			copy(id[:], buf[12+4*i:])
+			h.Heard = append(h.Heard, id)
+		}
+		return h, nil
+	case msgLSA:
+		if len(buf) < 14 {
+			return nil, ErrTruncated
+		}
+		l := &LSA{}
+		copy(l.Router[:], buf[2:6])
+		l.Seq = binary.BigEndian.Uint32(buf[6:10])
+		nl := int(binary.BigEndian.Uint16(buf[10:12]))
+		nn := int(binary.BigEndian.Uint16(buf[12:14]))
+		if len(buf) < 14+6*nl+10*nn {
+			return nil, ErrTruncated
+		}
+		off := 14
+		for i := 0; i < nl; i++ {
+			var ln Link
+			copy(ln.Neighbor[:], buf[off:])
+			ln.Cost = binary.BigEndian.Uint16(buf[off+4 : off+6])
+			l.Links = append(l.Links, ln)
+			off += 6
+		}
+		for i := 0; i < nn; i++ {
+			var n Network
+			copy(n.Prefix[:], buf[off:])
+			copy(n.Mask[:], buf[off+4:])
+			n.Cost = binary.BigEndian.Uint16(buf[off+8 : off+10])
+			l.Networks = append(l.Networks, n)
+			off += 10
+		}
+		return l, nil
+	default:
+		return nil, ErrBadType
+	}
+}

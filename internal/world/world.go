@@ -23,6 +23,7 @@ import (
 	"packetradio/internal/kiss"
 	"packetradio/internal/netrom"
 	"packetradio/internal/radio"
+	"packetradio/internal/rspf"
 	"packetradio/internal/serial"
 	"packetradio/internal/sim"
 	"packetradio/internal/tnc"
@@ -77,6 +78,7 @@ type Host struct {
 	nics   map[string]*ether.NIC
 	radios map[string]*RadioPort
 	gw     *core.Gateway
+	rtr    *rspf.Router
 }
 
 // RadioPort bundles the per-port hardware chain of Figure 1:
@@ -197,6 +199,81 @@ func (w *World) NetROMBackbone(ch *radio.Channel, h *Host, nodeCall string, tunn
 	return tun
 }
 
+// EnableRSPF starts a link-state routing daemon on the host, wired
+// with the bit rate of every attached radio channel so link costs
+// reflect the media (§4.2's escape from the single static gateway).
+// Call after all interfaces are attached.
+func (h *Host) EnableRSPF(cfg rspf.Config) *rspf.Router {
+	if h.rtr != nil {
+		return h.rtr
+	}
+	r := rspf.New(h.Stack, cfg)
+	for name, port := range h.radios {
+		r.SetBitRate(name, port.RF.Channel().BitRate)
+	}
+	r.Start()
+	h.rtr = r
+	return r
+}
+
+// RSPF returns the host's routing daemon, if EnableRSPF was called.
+func (h *Host) RSPF() *rspf.Router { return h.rtr }
+
+// --- Topology churn -----------------------------------------------------
+
+// FailLink severs connectivity between hosts a and b on every medium
+// they share: radio transceivers on a common channel stop hearing each
+// other (both directions) and NICs on a common Ethernet segment stop
+// exchanging frames. Unknown host names panic — a typo here would
+// otherwise silently turn a failure experiment into a no-op.
+func (w *World) FailLink(a, b string) { w.setLink(a, b, false) }
+
+// HealLink restores connectivity severed by FailLink.
+func (w *World) HealLink(a, b string) { w.setLink(a, b, true) }
+
+func (w *World) setLink(a, b string, ok bool) {
+	ha, okA := w.hosts[a]
+	hb, okB := w.hosts[b]
+	if !okA || !okB {
+		panic(fmt.Sprintf("world: setLink(%q, %q): unknown host", a, b))
+	}
+	for _, pa := range ha.radios {
+		for _, pb := range hb.radios {
+			if ch := pa.RF.Channel(); ch == pb.RF.Channel() {
+				ch.SetReachable(pa.RF, pb.RF, ok)
+				ch.SetReachable(pb.RF, pa.RF, ok)
+			}
+		}
+	}
+	for _, na := range ha.nics {
+		for _, nb := range hb.nics {
+			if seg := na.Segment(); seg == nb.Segment() {
+				seg.SetReachable(na, nb, ok)
+				seg.SetReachable(nb, na, ok)
+			}
+		}
+	}
+}
+
+// MoveHost retunes the host's named radio port onto another channel —
+// a portable station driving across town. The host keeps its IP
+// address; with RSPF running it forms new adjacencies on the new
+// channel and the network re-learns its /32 stub through them.
+func (w *World) MoveHost(host, ifName string, to *radio.Channel) {
+	h, ok := w.hosts[host]
+	if !ok {
+		panic(fmt.Sprintf("world: MoveHost(%q): unknown host", host))
+	}
+	port, ok := h.radios[ifName]
+	if !ok {
+		panic(fmt.Sprintf("world: MoveHost(%q, %q): no such radio port", host, ifName))
+	}
+	port.RF.Retune(to)
+	if h.rtr != nil {
+		h.rtr.SetBitRate(ifName, to.BitRate)
+	}
+}
+
 // Digipeater places a standalone digipeater station on ch.
 func (w *World) Digipeater(ch *radio.Channel, call string) *tnc.Digipeater {
 	rf := ch.Attach(call, radio.DefaultParams())
@@ -219,6 +296,12 @@ type Seattle struct {
 	PCs       []*Host // pc1..pcN: 44.24.0.10+i on the radio channel
 	Ether     *ether.Segment
 	Channel   *radio.Channel
+
+	// Gateway2 is the optional second MicroVAX (uw-gw2, 128.95.1.3 /
+	// 44.24.0.29) that SecondGateway adds — the redundancy §4.2's
+	// single-static-gateway routing cannot exploit but RSPF can.
+	Gateway2   *Host
+	Gateway2GW *core.Gateway
 }
 
 // SeattleConfig tunes the canned scenario.
@@ -229,6 +312,16 @@ type SeattleConfig struct {
 	Baud      int  // gateway serial line, default 9600
 	WithACL   bool // enable §4.3 access control
 	TNCFilter tnc.FilterMode
+
+	// SecondGateway adds uw-gw2 on both the Ethernet and the radio
+	// channel, for failover and churn scenarios.
+	SecondGateway bool
+
+	// NoStaticRoutes skips the era's hand-configured routes (june's
+	// net-44 route, the PCs' default). Hosts then reach off-link
+	// destinations only once a routing daemon installs routes — the
+	// starting state for the RSPF experiments.
+	NoStaticRoutes bool
 }
 
 // GatewayIP is the paper's actual gateway address: "the packet radio
@@ -241,6 +334,12 @@ var GatewayEtherIP = ip.MustAddr("128.95.1.1")
 
 // InternetIP is the Ethernet host used to reach the gateway.
 var InternetIP = ip.MustAddr("128.95.1.2")
+
+// Gateway2IP is the second gateway's radio-side address.
+var Gateway2IP = ip.MustAddr("44.24.0.29")
+
+// Gateway2EtherIP is the second gateway's Ethernet-side address.
+var Gateway2EtherIP = ip.MustAddr("128.95.1.3")
 
 // PCIP returns the address of radio PC i (0-based).
 func PCIP(i int) ip.Addr { return ip.AddrFrom(44, 24, 0, byte(10+i)) }
@@ -266,12 +365,23 @@ func NewSeattle(cfg SeattleConfig) *Seattle {
 	s.GatewayGW = gw.MakeGateway("pr0", "qe0", cfg.WithACL)
 	s.Gateway = gw
 
+	if cfg.SecondGateway {
+		gw2 := w.Host("uw-gw2")
+		gw2.AttachEther(s.Ether, "qe0", Gateway2EtherIP, ip.MaskClassB)
+		gw2.AttachRadio(s.Channel, "pr0", "N7BKR", Gateway2IP, ip.MaskClassA,
+			RadioConfig{Baud: cfg.Baud, Filter: cfg.TNCFilter})
+		s.Gateway2GW = gw2.MakeGateway("pr0", "qe0", cfg.WithACL)
+		s.Gateway2 = gw2
+	}
+
 	// An Internet host on the Ethernet, with its routing table
 	// modified "so it knew that 44.24.0.28 was the address of a
 	// gateway to net 44".
 	inet := w.Host("june")
 	inet.AttachEther(s.Ether, "qe0", InternetIP, ip.MaskClassB)
-	inet.Stack.Routes.AddNet(ip.MustAddr("44.0.0.0"), ip.MaskClassA, GatewayEtherIP, "qe0")
+	if !cfg.NoStaticRoutes {
+		inet.Stack.Routes.AddNet(ip.MustAddr("44.0.0.0"), ip.MaskClassA, GatewayEtherIP, "qe0")
+	}
 	s.Internet = inet
 
 	// PCs on the radio channel ("an isolated IBM PC ... connected to
@@ -281,10 +391,28 @@ func NewSeattle(cfg SeattleConfig) *Seattle {
 		pc.AttachRadio(s.Channel, "pr0", PCCall(i), PCIP(i), ip.MaskClassA,
 			RadioConfig{Baud: cfg.Baud})
 		// Everything off net 44 goes via the gateway's radio address.
-		pc.Stack.Routes.AddDefault(GatewayIP, "pr0")
+		if !cfg.NoStaticRoutes {
+			pc.Stack.Routes.AddDefault(GatewayIP, "pr0")
+		}
 		s.PCs = append(s.PCs, pc)
 	}
 	return s
+}
+
+// EnableRSPF starts an RSPF daemon on every host in the scenario and
+// returns them in a stable order (gateway, second gateway, june, PCs).
+func (s *Seattle) EnableRSPF(cfg rspf.Config) []*rspf.Router {
+	hosts := []*Host{s.Gateway}
+	if s.Gateway2 != nil {
+		hosts = append(hosts, s.Gateway2)
+	}
+	hosts = append(hosts, s.Internet)
+	hosts = append(hosts, s.PCs...)
+	routers := make([]*rspf.Router, 0, len(hosts))
+	for _, h := range hosts {
+		routers = append(routers, h.EnableRSPF(cfg))
+	}
+	return routers
 }
 
 // SetTNCParams pushes fast KISS parameters to every radio port —

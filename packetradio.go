@@ -42,6 +42,7 @@ import (
 	"packetradio/internal/ipstack"
 	"packetradio/internal/netrom"
 	"packetradio/internal/radio"
+	"packetradio/internal/rspf"
 	"packetradio/internal/serial"
 	"packetradio/internal/sim"
 	"packetradio/internal/smtp"
@@ -95,6 +96,11 @@ var (
 	GatewayEtherIP = world.GatewayEtherIP
 	// InternetIP is the Ethernet host of the paper's first test.
 	InternetIP = world.InternetIP
+	// Gateway2IP / Gateway2EtherIP belong to the optional second
+	// gateway (SeattleConfig.SecondGateway) used by the RSPF failover
+	// scenarios.
+	Gateway2IP      = world.Gateway2IP
+	Gateway2EtherIP = world.Gateway2EtherIP
 )
 
 // PCIP returns the address of scenario radio PC i (0-based).
@@ -157,6 +163,29 @@ type (
 	// RadioParams are per-transceiver channel-access parameters.
 	RadioParams = radio.Params
 )
+
+// Dynamic routing (the RSPF link-state daemon — the step past §4.2's
+// single static gateway).
+type (
+	// RSPFRouter is a per-host link-state routing daemon; start one
+	// with Host.EnableRSPF.
+	RSPFRouter = rspf.Router
+	// RSPFConfig tunes the daemon's timers and cost reference.
+	RSPFConfig = rspf.Config
+	// RSPFDatabase is a link-state database (exposed for inspection
+	// and for driving SPF directly in benchmarks).
+	RSPFDatabase = rspf.Database
+	// RSPFLSA is one router's flooded link-state advertisement.
+	RSPFLSA = rspf.LSA
+)
+
+// RSPFProto is the IP protocol number the daemon's datagrams use.
+const RSPFProto = rspf.Proto
+
+// NewRSPF builds (without starting) a routing daemon over a stack;
+// most callers should use Host.EnableRSPF, which also wires channel
+// bit rates into the link costs.
+func NewRSPF(s *Stack, cfg RSPFConfig) *RSPFRouter { return rspf.New(s, cfg) }
 
 // DefaultRadioParams returns KISS-standard channel-access parameters.
 func DefaultRadioParams() RadioParams { return radio.DefaultParams() }
