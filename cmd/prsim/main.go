@@ -64,12 +64,10 @@ func main() {
 
 	// Workload 2: a telnet session radio -> Internet.
 	fmt.Println("# pc1 telnets to the Internet host")
-	inetTCP := tcp.New(s.Internet.Stack)
-	inetTCP.DefaultConfig = tcp.Config{MSS: 216}
-	telnet.Serve(inetTCP, &telnet.Server{Hostname: "june"})
-	pcTCP := tcp.New(s.PCs[0].Stack)
-	pcTCP.DefaultConfig = tcp.Config{MSS: 216}
-	cl := telnet.DialClient(pcTCP, world.InternetIP)
+	inetSL := s.Internet.Sockets()
+	inetSL.StreamDefaults = tcp.Config{MSS: 216}
+	telnet.Serve(inetSL, &telnet.Server{Hostname: "june"})
+	cl := telnet.DialClient(s.PCs[0].Sockets(), world.InternetIP)
 	s.W.Run(2 * time.Minute)
 	cl.SendLine("uname")
 	s.W.Run(2 * time.Minute)

@@ -17,16 +17,15 @@ func main() {
 	s := packetradio.NewSeattle(packetradio.SeattleConfig{Seed: 7, NumPCs: 1})
 
 	// The §2.4 user program on the gateway host.
-	gwTCP := packetradio.NewTCP(s.Gateway.Stack)
-	gw := packetradio.NewAppGateway(s.W.Sched, s.Gateway.Radio("pr0").Driver, gwTCP)
+	gw := packetradio.NewAppGateway(s.W.Sched, s.Gateway.Radio("pr0").Driver, s.Gateway.Sockets())
 	gw.Hosts["june"] = packetradio.InternetIP
 	gw.MailRelay = packetradio.InternetIP
 
 	// Internet services.
-	inetTCP := packetradio.NewTCP(s.Internet.Stack)
-	packetradio.ServeTelnet(inetTCP, &packetradio.TelnetServer{Hostname: "june"})
+	inetSL := s.Internet.Sockets()
+	packetradio.ServeTelnet(inetSL, &packetradio.TelnetServer{Hostname: "june"})
 	mail := &packetradio.SMTPServer{Hostname: "june"}
-	packetradio.ServeSMTP(inetTCP, mail)
+	packetradio.ServeSMTP(inetSL, mail)
 
 	// A 1980 terminal: dumb tty -> native-firmware TNC -> radio.
 	hostEnd, tncEnd := packetradio.NewSerialLine(s.W.Sched, 9600)

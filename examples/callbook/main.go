@@ -29,14 +29,14 @@ func main() {
 	westSrv := &callbook.Server{Region: "west"}
 	westSrv.Add(callbook.Record{Call: "N7AKR", Name: "Bob Albrightson", Address: "Dept. of CS, FR-35", City: "Seattle WA", Lat: 47.65, Lon: -122.31})
 	westSrv.Add(callbook.Record{Call: "K3MC", Name: "Mike Chepponis", Address: "KISS HQ", City: "Pittsburgh PA", Lat: 40.44, Lon: -79.99})
-	callbook.Serve(packetradio.NewUDP(west.Stack), westSrv)
+	callbook.Serve(west.Sockets(), westSrv)
 
 	eastSrv := &callbook.Server{Region: "east"}
 	eastSrv.Add(callbook.Record{Call: "W1GOH", Name: "Steve Ward", Address: "545 Technology Sq", City: "Cambridge MA", Lat: 42.36, Lon: -71.09})
-	callbook.Serve(packetradio.NewUDP(eastHost.Stack), eastSrv)
+	callbook.Serve(eastHost.Sockets(), eastSrv)
 
 	// The PC's resolver, out on the radio channel.
-	res, err := callbook.NewResolver(packetradio.NewUDP(s.PCs[0].Stack))
+	res, err := callbook.NewResolver(s.PCs[0].Sockets())
 	if err != nil {
 		panic(err)
 	}

@@ -28,18 +28,26 @@ func main() {
 		s.W.Run(time.Minute)
 	}
 
-	fmt.Println("== TCP: 2 KB from the Internet host down to the PC ==")
-	inetTCP := packetradio.NewTCP(s.Internet.Stack)
-	inetTCP.DefaultConfig = packetradio.TCPConfig{MSS: 216} // fit the AX.25 MTU
-	pcTCP := packetradio.NewTCP(s.PCs[0].Stack)
+	fmt.Println("== sockets: 2 KB from the Internet host down to the PC ==")
+	// Each host has one socket layer — the same Dial/Listen/Accept API
+	// the paper's unmodified applications ran on.
+	inetSL := s.Internet.Sockets()
+	inetSL.StreamDefaults = packetradio.TCPConfig{MSS: 216} // fit the AX.25 MTU
+	pcSL := s.PCs[0].Sockets()                              // radio hosts default to MSS 216 already
 
 	received := 0
-	pcTCP.Listen(9000, func(c *packetradio.TCPConn) {
-		c.OnData = func(p []byte) { received += len(p) }
-	})
-	conn := inetTCP.Dial(packetradio.PCIP(0), 9000)
+	ln, _ := pcSL.Listen(9000, 5)
+	ln.OnAcceptable = func() {
+		sock, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		packetradio.Pump(sock, func(p []byte) { received += len(p) }, nil)
+	}
+	conn := inetSL.Dial(packetradio.PCIP(0), 9000)
+	w := packetradio.NewWriter(conn)
 	start := s.W.Sched.Now()
-	conn.OnConnect = func() { conn.Send(make([]byte, 2048)) }
+	w.Write(make([]byte, 2048)) // queues now, flows once established
 
 	for received < 2048 {
 		s.W.Run(30 * time.Second)
@@ -47,8 +55,9 @@ func main() {
 	elapsed := s.W.Sched.Now().Sub(start)
 	fmt.Printf("  2048 bytes in %.0fs = %.0f bit/s (channel is 1200 bit/s)\n",
 		elapsed.Seconds(), float64(received*8)/elapsed.Seconds())
+	st := conn.StreamStats()
 	fmt.Printf("  sender retransmits: %d, adapted RTO: %.1fs\n",
-		conn.Stats.Retransmits, conn.Stats.CurrentRTO.Seconds())
+		st.Retransmits, st.CurrentRTO.Seconds())
 
 	gw := s.Gateway.Stack.Stats
 	fmt.Printf("== gateway forwarded %d packets; simulated %.0fs of 1988 in %s of 2026 ==\n",

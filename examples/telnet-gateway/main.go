@@ -17,18 +17,16 @@ func main() {
 	s := packetradio.NewSeattle(packetradio.SeattleConfig{Seed: 42, NumPCs: 1})
 
 	// The "system that was on our Ethernet": telnet daemon with a
-	// login database.
-	inetTCP := packetradio.NewTCP(s.Internet.Stack)
-	inetTCP.DefaultConfig = packetradio.TCPConfig{MSS: 216}
-	packetradio.ServeTelnet(inetTCP, &packetradio.TelnetServer{
+	// login database, on the host's socket layer.
+	inetSL := s.Internet.Sockets()
+	inetSL.StreamDefaults = packetradio.TCPConfig{MSS: 216}
+	packetradio.ServeTelnet(inetSL, &packetradio.TelnetServer{
 		Hostname: "june",
 		Logins:   map[string]string{"bcn": "radio"},
 	})
 
 	// The isolated PC.
-	pcTCP := packetradio.NewTCP(s.PCs[0].Stack)
-	pcTCP.DefaultConfig = packetradio.TCPConfig{MSS: 216}
-	cl := packetradio.DialTelnet(pcTCP, packetradio.InternetIP)
+	cl := packetradio.DialTelnet(s.PCs[0].Sockets(), packetradio.InternetIP)
 
 	type keystroke struct {
 		line string

@@ -16,10 +16,11 @@
 //
 // Gateway is exactly that user program: it reads non-IP frames off the
 // driver's tty queue, terminates AX.25 connected-mode sessions, and
-// bridges them to TCP telnet sessions (remote login) and to SMTP
-// submission (electronic mail). Radio users who only have plain-AX.25
-// TNCs — no IP stack at all — thereby reach IP services, which was the
-// paper's stated goal for non-IP users.
+// bridges them to telnet sessions and SMTP submission over the socket
+// layer — the same API every other service in the system uses. Radio
+// users who only have plain-AX.25 TNCs — no IP stack at all — thereby
+// reach IP services, which was the paper's stated goal for non-IP
+// users.
 package appgw
 
 import (
@@ -31,7 +32,7 @@ import (
 	"packetradio/internal/ip"
 	"packetradio/internal/sim"
 	"packetradio/internal/smtp"
-	"packetradio/internal/tcp"
+	"packetradio/internal/socket"
 	"packetradio/internal/telnet"
 )
 
@@ -54,18 +55,18 @@ type Gateway struct {
 
 	sched *sim.Scheduler
 	drv   *core.PacketRadioIf
-	tp    *tcp.Proto
+	sl    *socket.Layer
 	ep    *ax25.Endpoint
 }
 
 // New wires the gateway to the packet-radio driver's tty queue and the
-// host's TCP layer.
-func New(sched *sim.Scheduler, drv *core.PacketRadioIf, tp *tcp.Proto) *Gateway {
+// host's socket layer.
+func New(sched *sim.Scheduler, drv *core.PacketRadioIf, sl *socket.Layer) *Gateway {
 	g := &Gateway{
 		Hosts: make(map[string]ip.Addr),
 		sched: sched,
 		drv:   drv,
-		tp:    tp,
+		sl:    sl,
 	}
 	g.ep = ax25.NewEndpoint(sched, drv.MyCall, func(f *ax25.Frame) { drv.SendFrame(f) })
 	g.ep.Accept = g.accept
@@ -84,10 +85,11 @@ func (g *Gateway) ttyInput(f *ax25.Frame) {
 type session struct {
 	gw   *Gateway
 	conn *ax25.Conn
-	line []byte
+	fr   socket.Framer
 
-	// Bridge state.
-	tconn *tcp.Conn // live telnet bridge, nil otherwise
+	// Bridge state: the telnet-side stream socket and its writer.
+	tsock *socket.Socket
+	tw    *socket.Writer
 
 	// Mail composition state.
 	mailFrom, mailTo string
@@ -98,6 +100,7 @@ type session struct {
 func (g *Gateway) accept(c *ax25.Conn) bool {
 	g.Stats.Sessions++
 	s := &session{gw: g, conn: c}
+	s.fr.OnLine = s.command
 	c.OnData = s.input
 	c.OnState = func(st ax25.ConnState) {
 		if st == ax25.StateConnected {
@@ -105,9 +108,9 @@ func (g *Gateway) accept(c *ax25.Conn) bool {
 			s.printf("Commands: TELNET <host>, MAIL <from> <to>, BYE\r")
 		}
 		if st == ax25.StateDisconnected {
-			if s.tconn != nil {
-				s.tconn.Close()
-				s.tconn = nil
+			if s.tsock != nil {
+				s.tsock.Close()
+				s.tsock = nil
 			}
 			g.ep.Remove(c.Remote)
 		}
@@ -121,21 +124,11 @@ func (s *session) printf(format string, args ...any) {
 
 func (s *session) input(p []byte) {
 	// While bridged, bytes pass straight through to the TCP side.
-	if s.tconn != nil {
-		s.tconn.Send(bytesCRLF(p))
+	if s.tsock != nil {
+		s.tw.Write(bytesCRLF(p))
 		return
 	}
-	for _, b := range p {
-		if b == '\r' || b == '\n' {
-			if len(s.line) > 0 {
-				line := string(s.line)
-				s.line = s.line[:0]
-				s.command(line)
-			}
-			continue
-		}
-		s.line = append(s.line, b)
-	}
+	s.fr.Push(p)
 }
 
 // bytesCRLF converts radio-style CR line endings to CRLF for TCP
@@ -156,6 +149,7 @@ func (s *session) command(line string) {
 	if s.inMail {
 		if line == "." {
 			s.inMail = false
+			s.fr.KeepEmpty = false
 			s.sendMail()
 			return
 		}
@@ -182,6 +176,7 @@ func (s *session) command(line string) {
 		s.mailFrom, s.mailTo = fields[1], fields[2]
 		s.mailBody.Reset()
 		s.inMail = true
+		s.fr.KeepEmpty = true // blank lines belong to the message
 		s.printf("Enter message, end with '.' alone\r")
 	case "BYE", "B":
 		s.printf("73!\r")
@@ -204,9 +199,11 @@ func (s *session) bridge(host string) {
 	}
 	s.gw.Stats.TelnetBridges++
 	s.printf("Trying %s...\r", addr)
-	t := s.gw.tp.Dial(addr, telnet.Port)
-	s.tconn = t
-	t.OnData = func(p []byte) {
+	t := s.gw.sl.Dial(addr, telnet.Port)
+	s.tsock = t
+	s.tw = socket.NewWriter(t)
+	t.OnConnect = func() { s.printf("Connected.\r") }
+	socket.Pump(t, func(p []byte) {
 		// TCP -> radio: strip LFs; radio terminals want bare CR.
 		out := make([]byte, 0, len(p))
 		for _, b := range p {
@@ -217,19 +214,17 @@ func (s *session) bridge(host string) {
 		if len(out) > 0 {
 			s.conn.Send(out)
 		}
-	}
-	t.OnConnect = func() { s.printf("Connected.\r") }
-	t.OnClose = func(err error) {
-		if s.tconn == t {
-			s.tconn = nil
+	}, func(err error) {
+		if s.tsock == t {
+			s.tsock = nil
 			if err != nil {
 				s.printf("Connection failed: %v\r", err)
 			} else {
 				s.printf("Connection closed.\r")
 			}
 		}
-	}
-	t.OnPeerClose = func() { t.Close() }
+		t.Close()
+	})
 }
 
 // sendMail relays the composed message over SMTP.
@@ -240,7 +235,7 @@ func (s *session) sendMail() {
 		Body: fmt.Sprintf("Received: from %s by %s (AX.25 application gateway)\n%s",
 			s.conn.Remote, s.conn.Local, s.mailBody.String()),
 	}
-	smtp.Send(s.gw.tp, s.gw.MailRelay, msg, func(r smtp.Result) {
+	smtp.Send(s.gw.sl, s.gw.MailRelay, msg, func(r smtp.Result) {
 		if r.OK {
 			s.gw.Stats.MailsRelayed++
 			s.printf("Mail accepted for %s\r", s.mailTo)

@@ -10,7 +10,7 @@ import (
 	"packetradio/internal/radio"
 	"packetradio/internal/serial"
 	"packetradio/internal/smtp"
-	"packetradio/internal/tcp"
+	"packetradio/internal/socket"
 	"packetradio/internal/telnet"
 	"packetradio/internal/tnc"
 	"packetradio/internal/world"
@@ -50,19 +50,19 @@ func newFixture(t *testing.T) *fixture {
 	f := &fixture{s: s}
 
 	// Application gateway process on the gateway host.
-	gwTCP := tcp.New(s.Gateway.Stack)
-	f.gw = New(s.W.Sched, s.Gateway.Radio("pr0").Driver, gwTCP)
+	gwSL := socket.New(s.Gateway.Stack)
+	f.gw = New(s.W.Sched, s.Gateway.Radio("pr0").Driver, gwSL)
 	f.gw.Hosts["june"] = world.InternetIP
 	f.gw.MailRelay = world.InternetIP
 
 	// Services on the Internet host.
-	inetTCP := tcp.New(s.Internet.Stack)
+	inetSL := socket.New(s.Internet.Stack)
 	f.tsrv = &telnet.Server{Hostname: "june"}
-	if err := telnet.Serve(inetTCP, f.tsrv); err != nil {
+	if err := telnet.Serve(inetSL, f.tsrv); err != nil {
 		t.Fatal(err)
 	}
 	f.msrv = &smtp.Server{Hostname: "june"}
-	if err := smtp.Serve(inetTCP, f.msrv); err != nil {
+	if err := smtp.Serve(inetSL, f.msrv); err != nil {
 		t.Fatal(err)
 	}
 

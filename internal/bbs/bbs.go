@@ -18,6 +18,7 @@ import (
 	"packetradio/internal/ax25"
 	"packetradio/internal/radio"
 	"packetradio/internal/sim"
+	"packetradio/internal/socket"
 )
 
 // Message is one stored bulletin or personal message.
@@ -121,7 +122,7 @@ func (b *Board) fromRadio(framed []byte, damaged bool) {
 type session struct {
 	board *Board
 	conn  *ax25.Conn
-	line  []byte
+	fr    socket.Framer // line assembly shared with the TCP services
 
 	// Composition state.
 	composing bool
@@ -134,7 +135,8 @@ type session struct {
 func (b *Board) accept(c *ax25.Conn) bool {
 	b.Stats.Sessions++
 	s := &session{board: b, conn: c}
-	c.OnData = s.input
+	s.fr.OnLine = s.handle
+	c.OnData = s.fr.Push
 	c.OnState = func(st ax25.ConnState) {
 		if st == ax25.StateConnected {
 			s.printf("[UWBBS-1.0]\rWelcome %s to the UW packet BBS\r", c.Remote)
@@ -153,38 +155,36 @@ func (s *session) printf(format string, args ...any) {
 
 func (s *session) prompt() { s.printf(">\r") }
 
-func (s *session) input(p []byte) {
-	for _, ch := range p {
-		if ch == '\r' || ch == '\n' {
-			// Message bodies are kept verbatim (so a line like ". "
-			// is not collapsed into the terminator); command lines
-			// are trimmed.
-			line := string(s.line)
-			if !s.composing {
-				line = strings.TrimSpace(line)
-			}
-			s.line = s.line[:0]
-			if line != "" || s.composing {
-				s.handle(line)
-			}
-			continue
-		}
-		s.line = append(s.line, ch)
-	}
+// setComposing flips body-verbatim mode: while composing, empty lines
+// are part of the message (the framer must deliver them) and lines
+// are not trimmed.
+func (s *session) setComposing(on bool) {
+	s.composing = on
+	s.fr.KeepEmpty = on
 }
 
 func (s *session) handle(line string) {
+	if !s.composing {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			return
+		}
+	}
+	s.dispatch(line)
+}
+
+func (s *session) dispatch(line string) {
 	b := s.board
 	if s.needSubj {
 		s.subject = line
 		s.needSubj = false
-		s.composing = true
+		s.setComposing(true)
 		s.printf("Enter message, end with ^Z or '.' alone\r")
 		return
 	}
 	if s.composing {
 		if line == "." || line == "\x1a" {
-			s.composing = false
+			s.setComposing(false)
 			m := b.Post(s.conn.Remote.String(), s.to, s.subject, s.body.String())
 			s.body.Reset()
 			s.printf("Msg %d stored\r", m.Num)

@@ -17,7 +17,7 @@ import (
 	"strings"
 
 	"packetradio/internal/ip"
-	"packetradio/internal/udp"
+	"packetradio/internal/socket"
 )
 
 // Port is the callbook UDP service port.
@@ -51,15 +51,19 @@ type Server struct {
 	}
 }
 
-// Serve binds the server to mux's callbook port.
-func Serve(mux *udp.Mux, srv *Server) error {
+// Serve binds the server to the layer's callbook port with a datagram
+// socket.
+func Serve(sl *socket.Layer, srv *Server) error {
 	if srv.Records == nil {
 		srv.Records = make(map[string]Record)
 	}
-	var sock *udp.Socket
-	sock, err := mux.Bind(Port, func(src ip.Addr, srcPort uint16, payload []byte) {
+	sock, err := sl.Datagram(Port)
+	if err != nil {
+		return err
+	}
+	socket.PumpDatagrams(sock, func(d socket.Datagram) {
 		srv.Stats.Queries++
-		fields := strings.Fields(string(payload))
+		fields := strings.Fields(string(d.Data))
 		if len(fields) != 2 || fields[0] != "CALL" {
 			return
 		}
@@ -74,9 +78,9 @@ func Serve(mux *udp.Mux, srv *Server) error {
 			srv.Stats.Misses++
 			resp = "NOTFOUND " + call
 		}
-		sock.SendTo(src, srcPort, []byte(resp))
+		sock.SendTo(d.Src, d.SrcPort, []byte(resp))
 	})
-	return err
+	return nil
 }
 
 // Add inserts a record.
@@ -99,23 +103,22 @@ type Resolver struct {
 	// MyLat/MyLon locate the querying station for bearing computation.
 	MyLat, MyLon float64
 
-	mux     *udp.Mux
-	sock    *udp.Socket
+	sock    *socket.Socket
 	pending map[string]func(*Record, bool)
 }
 
 // NewResolver binds an ephemeral client socket.
-func NewResolver(mux *udp.Mux) (*Resolver, error) {
+func NewResolver(sl *socket.Layer) (*Resolver, error) {
 	r := &Resolver{
 		Regions: make(map[string]ip.Addr),
-		mux:     mux,
 		pending: make(map[string]func(*Record, bool)),
 	}
-	sock, err := mux.Bind(0, r.input)
+	sock, err := sl.Datagram(0)
 	if err != nil {
 		return nil, err
 	}
 	r.sock = sock
+	socket.PumpDatagrams(sock, func(d socket.Datagram) { r.input(d.Data) })
 	return r, nil
 }
 
@@ -146,7 +149,7 @@ func (r *Resolver) Lookup(call string, cb func(rec *Record, found bool)) {
 	r.sock.SendTo(server, Port, []byte("CALL "+call))
 }
 
-func (r *Resolver) input(src ip.Addr, srcPort uint16, payload []byte) {
+func (r *Resolver) input(payload []byte) {
 	line := string(payload)
 	switch {
 	case strings.HasPrefix(line, "OK "):

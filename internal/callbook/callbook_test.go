@@ -10,13 +10,13 @@ import (
 	"packetradio/internal/ip"
 	"packetradio/internal/ipstack"
 	"packetradio/internal/sim"
-	"packetradio/internal/udp"
+	"packetradio/internal/socket"
 )
 
 // fixture: three hosts — client plus two regional servers.
 type fixture struct {
 	sched      *sim.Scheduler
-	client     *udp.Mux
+	client     *socket.Layer
 	west, east *Server
 	resolver   *Resolver
 }
@@ -25,12 +25,12 @@ func newFixture(t *testing.T) *fixture {
 	t.Helper()
 	f := &fixture{sched: sim.NewScheduler(1)}
 	g := ether.NewSegment(f.sched, 0)
-	mk := func(name, addr string) *udp.Mux {
+	mk := func(name, addr string) *socket.Layer {
 		st := ipstack.New(f.sched, name)
 		n := g.Attach("qe0", ip.MustAddr(addr), st)
 		n.Init()
 		st.AddInterface(n, ip.MustAddr(addr), ip.MaskClassC)
-		return udp.NewMux(st)
+		return socket.New(st)
 	}
 	f.client = mk("pc", "10.0.0.1")
 	westMux := mk("west", "10.0.0.2")
@@ -158,7 +158,7 @@ func TestLongestPrefixWins(t *testing.T) {
 
 func TestServerIgnoresGarbageQueries(t *testing.T) {
 	f := newFixture(t)
-	sock, err := f.client.Bind(0, func(ip.Addr, uint16, []byte) {})
+	sock, err := f.client.Datagram(0)
 	if err != nil {
 		t.Fatal(err)
 	}

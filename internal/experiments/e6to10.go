@@ -163,20 +163,22 @@ func E9(w io.Writer) *Result {
 	pc := s.PCs[0]
 	radioCfg := tcp.Config{Mode: tcp.RTOAdaptive, MSS: 216}
 
-	inetTCP := tcp.New(s.Internet.Stack)
-	inetTCP.DefaultConfig = radioCfg
-	pcTCP := tcp.New(pc.Stack)
-	pcTCP.DefaultConfig = radioCfg
+	// Every service runs on the hosts' socket layers — the same API an
+	// unmodified 1988 application would have used.
+	inetSL := s.Internet.Sockets()
+	inetSL.StreamDefaults = radioCfg
+	pcSL := pc.Sockets()
+	pcSL.StreamDefaults = radioCfg
 
 	// Services on the Internet host.
-	telnet.Serve(inetTCP, &telnet.Server{Hostname: "june"})
+	telnet.Serve(inetSL, &telnet.Server{Hostname: "june"})
 	fileData := make([]byte, 2048)
-	ftp.Serve(inetTCP, &ftp.Server{Hostname: "june", Files: ftp.FS{"paper.txt": fileData}})
+	ftp.Serve(inetSL, &ftp.Server{Hostname: "june", Files: ftp.FS{"paper.txt": fileData}})
 	inetMail := &smtp.Server{Hostname: "june"}
-	smtp.Serve(inetTCP, inetMail)
+	smtp.Serve(inetSL, inetMail)
 	// And an SMTP server on the PC for the reverse direction.
 	pcMail := &smtp.Server{Hostname: "pc1"}
-	smtp.Serve(pcTCP, pcMail)
+	smtp.Serve(pcSL, pcMail)
 
 	pingOnce(s.W, pc, world.InternetIP, 8, 5*time.Minute) // warm ARP
 
@@ -184,7 +186,7 @@ func E9(w io.Writer) *Result {
 	t.row("service", "direction", "result", "time(s)")
 
 	// Telnet: radio -> Internet, one command round trip.
-	cl := telnet.DialClient(pcTCP, world.InternetIP)
+	cl := telnet.DialClient(pcSL, world.InternetIP)
 	start := s.W.Sched.Now()
 	s.W.Run(3 * time.Minute)
 	cl.SendLine("echo hello")
@@ -202,7 +204,7 @@ func E9(w io.Writer) *Result {
 	s.W.Run(2 * time.Minute)
 
 	// FTP: download then upload (both directions of bulk data).
-	fcl := ftp.Dial(pcTCP, world.InternetIP)
+	fcl := ftp.Dial(pcSL, world.InternetIP)
 	done := false
 	fcl.OnComplete = func() { done = true }
 	fcl.Get("paper.txt")
@@ -226,7 +228,7 @@ func E9(w io.Writer) *Result {
 
 	// SMTP: radio -> Internet.
 	sent := false
-	smtp.Send(pcTCP, world.InternetIP,
+	smtp.Send(pcSL, world.InternetIP,
 		smtp.Message{From: "op@pc1", To: "bcn@june", Body: "hello from the radio side"},
 		func(res smtp.Result) { sent = res.OK })
 	start = s.W.Sched.Now()
@@ -238,7 +240,7 @@ func E9(w io.Writer) *Result {
 
 	// SMTP: Internet -> radio.
 	sent = false
-	smtp.Send(inetTCP, world.PCIP(0),
+	smtp.Send(inetSL, world.PCIP(0),
 		smtp.Message{From: "bcn@june", To: "op@pc1", Body: "hello from the internet side"},
 		func(res smtp.Result) { sent = res.OK })
 	start = s.W.Sched.Now()

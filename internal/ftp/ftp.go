@@ -1,20 +1,23 @@
 // Package ftp implements the file-transfer service used across the
 // paper's gateway ("Since then we have used the gateway for file
 // transfer ... in both directions"). It is a deliberately small subset
-// of FTP running on one TCP connection: USER/PASS, RETR and STOR with
+// of FTP running on one stream socket: USER/PASS, RETR and STOR with
 // byte counts framing the data phase, and QUIT. The single-connection
 // framing (rather than a second data connection) keeps the protocol
 // analyzable in the experiments while exercising exactly the same
-// bulk-transfer TCP path.
+// bulk-transfer TCP path. Bulk data rides the socket layer's Writer,
+// so a multi-megabyte RETR trickles out against sockbuf backpressure
+// instead of materializing in the TCP send buffer.
 package ftp
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
 	"packetradio/internal/ip"
-	"packetradio/internal/tcp"
+	"packetradio/internal/socket"
 )
 
 // Port is the control port.
@@ -39,65 +42,51 @@ type Server struct {
 
 type serverSession struct {
 	srv  *Server
-	conn *tcp.Conn
-	line []byte
+	sock *socket.Socket
+	w    *socket.Writer
+	fr   socket.Framer
 
-	// Data-phase state for STOR.
 	storName string
-	storWant int
 	storBuf  []byte
 }
 
 // Serve starts the daemon.
-func Serve(tp *tcp.Proto, srv *Server) error {
+func Serve(sl *socket.Layer, srv *Server) error {
 	if srv.Files == nil {
 		srv.Files = make(FS)
 	}
-	_, err := tp.Listen(Port, func(c *tcp.Conn) {
+	ln, err := sl.Listen(Port, 0)
+	if err != nil {
+		return err
+	}
+	socket.AcceptLoop(ln, func(sock *socket.Socket) {
 		srv.Stats.Sessions++
-		s := &serverSession{srv: srv, conn: c}
-		c.OnData = s.input
-		c.OnPeerClose = func() { c.Close() }
+		s := &serverSession{srv: srv, sock: sock, w: socket.NewWriter(sock)}
+		s.fr.LFOnly = true
+		s.fr.OnLine = s.command
+		s.fr.OnData = s.storData
+		// On the peer's EOF, flush replies and bulk data still queued
+		// in the Writer before closing — a pipelined client sends FIN
+		// without waiting.
+		socket.Pump(sock, s.fr.Push, func(error) { s.w.Close() })
 		s.reply("220 %s FTP server (simulated Ultrix) ready.", srv.Hostname)
 	})
-	return err
+	return nil
 }
 
 func (s *serverSession) reply(format string, args ...any) {
-	s.conn.Send([]byte(fmt.Sprintf(format, args...) + "\r\n"))
+	s.w.Printf(format+"\r\n", args...)
 }
 
-func (s *serverSession) input(p []byte) {
-	// If a STOR data phase is active, bytes are file content.
-	for len(p) > 0 {
-		if s.storWant > 0 {
-			n := len(p)
-			if n > s.storWant {
-				n = s.storWant
-			}
-			s.storBuf = append(s.storBuf, p[:n]...)
-			s.storWant -= n
-			s.srv.Stats.BytesIn += uint64(n)
-			p = p[n:]
-			if s.storWant == 0 {
-				s.srv.Files[s.storName] = s.storBuf
-				s.srv.Stats.Stored++
-				s.storBuf = nil
-				s.reply("226 Transfer complete.")
-			}
-			continue
-		}
-		b := p[0]
-		p = p[1:]
-		if b == '\n' {
-			line := strings.TrimRight(string(s.line), "\r")
-			s.line = s.line[:0]
-			if line != "" {
-				s.command(line)
-			}
-			continue
-		}
-		s.line = append(s.line, b)
+// storData receives the counted STOR region.
+func (s *serverSession) storData(chunk []byte, done bool) {
+	s.storBuf = append(s.storBuf, chunk...)
+	s.srv.Stats.BytesIn += uint64(len(chunk))
+	if done {
+		s.srv.Files[s.storName] = s.storBuf
+		s.srv.Stats.Stored++
+		s.storBuf = nil
+		s.reply("226 Transfer complete.")
 	}
 }
 
@@ -123,6 +112,7 @@ func (s *serverSession) command(line string) {
 		for name := range s.srv.Files {
 			names = append(names, name)
 		}
+		sort.Strings(names) // map order would break run reproducibility
 		s.reply("150 Here comes the directory listing.")
 		for _, n := range names {
 			s.reply("%s", n)
@@ -137,7 +127,7 @@ func (s *serverSession) command(line string) {
 		s.srv.Stats.Retrieved++
 		s.srv.Stats.BytesOut += uint64(len(data))
 		s.reply("150 Opening data stream for %s (%d bytes).", arg, len(data))
-		s.conn.Send(data)
+		s.w.Write(data)
 		s.reply("226 Transfer complete.")
 	case "STOR":
 		if len(fields) < 3 {
@@ -150,17 +140,18 @@ func (s *serverSession) command(line string) {
 			return
 		}
 		s.storName = arg
-		s.storWant = n
 		s.storBuf = make([]byte, 0, n)
 		s.reply("150 Ready for %d bytes of %s.", n, arg)
 		if n == 0 {
 			s.srv.Files[arg] = nil
 			s.srv.Stats.Stored++
 			s.reply("226 Transfer complete.")
+			return
 		}
+		s.fr.ExpectData(n)
 	case "QUIT":
 		s.reply("221 Goodbye.")
-		s.conn.Close()
+		s.w.Close()
 	default:
 		s.reply("502 %s not implemented.", cmd)
 	}
@@ -174,13 +165,13 @@ type Client struct {
 	// OnComplete fires when the queued script is done (after QUIT).
 	OnComplete func()
 
-	conn    *tcp.Conn
-	lineBuf []byte
+	sock *socket.Socket
+	w    *socket.Writer
+	fr   socket.Framer
 
 	// Current RETR state.
-	retrWant int
-	retrBuf  []byte
 	retrName string
+	retrBuf  []byte
 	gotFiles map[string][]byte
 
 	script []step
@@ -194,11 +185,14 @@ type step struct {
 }
 
 // Dial connects to the server at addr.
-func Dial(tp *tcp.Proto, addr ip.Addr) *Client {
+func Dial(sl *socket.Layer, addr ip.Addr) *Client {
 	c := &Client{gotFiles: make(map[string][]byte)}
-	c.conn = tp.Dial(addr, Port)
-	c.conn.OnData = c.input
-	c.conn.OnPeerClose = func() { c.conn.Close() }
+	c.sock = sl.Dial(addr, Port)
+	c.w = socket.NewWriter(c.sock)
+	c.fr.LFOnly = true
+	c.fr.OnLine = c.reply
+	c.fr.OnData = c.retrData
+	socket.Pump(c.sock, c.fr.Push, func(error) { c.w.Close() })
 	c.script = append(c.script,
 		step{send: "USER anonymous", expect: "331"},
 		step{send: "PASS guest", expect: "230"},
@@ -231,33 +225,12 @@ func (c *Client) File(name string) ([]byte, bool) {
 	return d, ok
 }
 
-func (c *Client) input(p []byte) {
-	for len(p) > 0 {
-		if c.retrWant > 0 {
-			n := len(p)
-			if n > c.retrWant {
-				n = c.retrWant
-			}
-			c.retrBuf = append(c.retrBuf, p[:n]...)
-			c.retrWant -= n
-			p = p[n:]
-			if c.retrWant == 0 {
-				c.gotFiles[c.retrName] = c.retrBuf
-				c.retrBuf = nil
-			}
-			continue
-		}
-		b := p[0]
-		p = p[1:]
-		if b == '\n' {
-			line := strings.TrimRight(string(c.lineBuf), "\r")
-			c.lineBuf = c.lineBuf[:0]
-			if line != "" {
-				c.reply(line)
-			}
-			continue
-		}
-		c.lineBuf = append(c.lineBuf, b)
+// retrData receives the counted RETR region.
+func (c *Client) retrData(chunk []byte, done bool) {
+	c.retrBuf = append(c.retrBuf, chunk...)
+	if done {
+		c.gotFiles[c.retrName] = c.retrBuf
+		c.retrBuf = nil
 	}
 }
 
@@ -274,16 +247,17 @@ func (c *Client) reply(line string) {
 		var n int
 		fmt.Sscanf(line, "150 Opening data stream for %s (%d bytes).", &name, &n)
 		c.retrName = name
-		c.retrWant = n
 		c.retrBuf = make([]byte, 0, n)
 		if n == 0 {
 			c.gotFiles[name] = nil
+			return
 		}
+		c.fr.ExpectData(n)
 		return
 	}
 	// A 150 for STOR means send the payload now.
 	if strings.HasPrefix(line, "150 Ready for") && len(c.script) > 0 && c.script[0].payload != nil {
-		c.conn.Send(c.script[0].payload)
+		c.w.Write(c.script[0].payload)
 		return
 	}
 	if len(c.script) > 0 && strings.HasPrefix(line, c.script[0].expect) {
@@ -299,8 +273,5 @@ func (c *Client) advance() {
 		}
 		return
 	}
-	c.conn.Send([]byte(c.script[0].send + "\r\n"))
-	if c.script[0].send == "QUIT" {
-		// The 221 will advance us to completion.
-	}
+	c.w.Write([]byte(c.script[0].send + "\r\n"))
 }

@@ -9,19 +9,19 @@ import (
 	"packetradio/internal/ip"
 	"packetradio/internal/ipstack"
 	"packetradio/internal/sim"
-	"packetradio/internal/tcp"
+	"packetradio/internal/socket"
 )
 
-func twoHosts(t *testing.T) (*sim.Scheduler, *tcp.Proto, *tcp.Proto) {
+func twoHosts(t *testing.T) (*sim.Scheduler, *socket.Layer, *socket.Layer) {
 	t.Helper()
 	s := sim.NewScheduler(1)
 	g := ether.NewSegment(s, 0)
-	mk := func(name, addr string) *tcp.Proto {
+	mk := func(name, addr string) *socket.Layer {
 		st := ipstack.New(s, name)
 		n := g.Attach("qe0", ip.MustAddr(addr), st)
 		n.Init()
 		st.AddInterface(n, ip.MustAddr(addr), ip.MaskClassC)
-		return tcp.New(st)
+		return socket.New(st)
 	}
 	return s, mk("client", "10.0.0.1"), mk("server", "10.0.0.2")
 }
@@ -113,5 +113,35 @@ func TestEmptyFile(t *testing.T) {
 	s.RunFor(time.Minute)
 	if !done {
 		t.Fatal("empty-file script hung")
+	}
+}
+
+// Regression: a pipelined client that sends its commands and FIN
+// without waiting must still receive the whole file — the server has
+// to flush data queued behind the sockbuf in its Writer before
+// closing on the peer's EOF.
+func TestPipelinedRetrWithEarlyFIN(t *testing.T) {
+	s, slA, slB := twoHosts(t)
+	want := bytes.Repeat([]byte("W"), 100_000) // a ~40 ms transfer at 10 Mb/s
+	srv := &Server{Hostname: "june", Files: FS{"big": want}}
+	if err := Serve(slB, srv); err != nil {
+		t.Fatal(err)
+	}
+	c := slA.Dial(ip.MustAddr("10.0.0.2"), Port)
+	var got []byte
+	socket.Pump(c, func(p []byte) { got = append(got, p...) }, nil)
+	w := socket.NewWriter(c)
+	// No QUIT: the client half-closes after RETR, so delivery depends
+	// entirely on the server's EOF handler flushing its Writer rather
+	// than dropping it.
+	w.Write([]byte("USER a\r\nPASS b\r\nRETR big\r\n"))
+	s.RunFor(5 * time.Millisecond) // transfer underway, Writer still loaded
+	c.Shutdown(socket.ShutWr)      // FIN lands mid-transfer
+	s.RunFor(time.Minute)
+	if !bytes.Contains(got, want) {
+		t.Fatalf("file truncated: got %d bytes total", len(got))
+	}
+	if !bytes.Contains(got, []byte("226 Transfer complete")) {
+		t.Fatalf("no completion reply; tail %q", got[len(got)-min(len(got), 80):])
 	}
 }

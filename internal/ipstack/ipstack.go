@@ -96,13 +96,14 @@ type Stack struct {
 
 	Stats Stats
 
-	ifs       map[string]*ifEntry
-	order     []string
-	protos    map[uint8]Handler
-	protoErrs map[uint8]func(dst ip.Addr, m *icmp.Message)
-	reass     *ip.Reassembler
-	reassTick *sim.Event
-	nextID    uint16
+	ifs         map[string]*ifEntry
+	order       []string
+	protos      map[uint8]Handler
+	protoOwners map[uint8]any
+	protoErrs   map[uint8]func(dst ip.Addr, m *icmp.Message)
+	reass       *ip.Reassembler
+	reassTick   *sim.Event
+	nextID      uint16
 
 	pings map[uint16]*pingCtx
 }
@@ -110,15 +111,16 @@ type Stack struct {
 // New builds a stack.
 func New(sched *sim.Scheduler, hostname string) *Stack {
 	return &Stack{
-		Hostname:  hostname,
-		Sched:     sched,
-		Routes:    route.New(),
-		ifs:       make(map[string]*ifEntry),
-		protos:    make(map[uint8]Handler),
-		protoErrs: make(map[uint8]func(ip.Addr, *icmp.Message)),
-		reass:     ip.NewReassembler(),
-		pings:     make(map[uint16]*pingCtx),
-		nextID:    1,
+		Hostname:    hostname,
+		Sched:       sched,
+		Routes:      route.New(),
+		ifs:         make(map[string]*ifEntry),
+		protos:      make(map[uint8]Handler),
+		protoOwners: make(map[uint8]any),
+		protoErrs:   make(map[uint8]func(ip.Addr, *icmp.Message)),
+		reass:       ip.NewReassembler(),
+		pings:       make(map[uint16]*pingCtx),
+		nextID:      1,
 	}
 }
 
@@ -167,7 +169,31 @@ func (s *Stack) Addr() ip.Addr {
 }
 
 // RegisterProto installs the transport handler for an IP protocol.
-func (s *Stack) RegisterProto(proto uint8, h Handler) { s.protos[proto] = h }
+func (s *Stack) RegisterProto(proto uint8, h Handler) { s.RegisterProtoOwned(proto, h, nil) }
+
+// RegisterProtoOwned installs a transport handler tagged with an
+// owner token, so UnregisterProtoOwned can release the slot only if
+// it still belongs to that owner (raw sockets use themselves as the
+// token; a later transport claiming the protocol must not be torn
+// down by a stale close).
+func (s *Stack) RegisterProtoOwned(proto uint8, h Handler, owner any) {
+	s.protos[proto] = h
+	s.protoOwners[proto] = owner
+}
+
+// HasProto reports whether a transport handler is registered for the
+// protocol — the socket layer's duplicate-raw-bind check.
+func (s *Stack) HasProto(proto uint8) bool { _, ok := s.protos[proto]; return ok }
+
+// UnregisterProtoOwned removes the protocol's handler if (and only
+// if) owner still holds the slot.
+func (s *Stack) UnregisterProtoOwned(proto uint8, owner any) {
+	if s.protoOwners[proto] != owner {
+		return
+	}
+	delete(s.protos, proto)
+	delete(s.protoOwners, proto)
+}
 
 // RegisterProtoError installs a handler for ICMP errors quoting a
 // datagram of the given protocol (how TCP learns of unreachables).

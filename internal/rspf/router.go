@@ -8,6 +8,7 @@ import (
 	"packetradio/internal/ipstack"
 	"packetradio/internal/route"
 	"packetradio/internal/sim"
+	"packetradio/internal/socket"
 )
 
 // DefaultOwner tags the routes this daemon installs in route.Table.
@@ -140,6 +141,7 @@ type Router struct {
 	staleResp map[ip.Addr]sim.Time
 
 	running       bool
+	sock          *socket.Socket // SOCK_RAW for protocol 73
 	helloEv       *sim.Event
 	refreshEv     *sim.Event
 	deadTicker    *sim.Ticker
@@ -192,17 +194,25 @@ func (r *Router) Neighbors() []NeighborInfo {
 	return out
 }
 
-// Start registers the protocol handler, announces ourselves, and
-// begins the hello/refresh timer chains. Each timer period is jittered
-// ±10% from the scheduler's seeded random source so co-located routers
-// desynchronize deterministically.
+// Start opens the daemon's raw socket (SOCK_RAW, protocol 73 — like
+// the real RSPF daemon, it needs no kernel support beyond raw IP),
+// announces ourselves, and begins the hello/refresh timer chains.
+// Each timer period is jittered ±10% from the scheduler's seeded
+// random source so co-located routers desynchronize deterministically.
 func (r *Router) Start() {
 	if r.running {
 		return
 	}
+	sock, err := socket.NewRaw(r.stack, Proto)
+	if err != nil {
+		// Protocol 73 is already claimed on this stack; a silently
+		// dead routing daemon would be undebuggable, so fail loudly.
+		panic("rspf: " + r.stack.Hostname + ": " + err.Error())
+	}
+	r.sock = sock
+	socket.PumpDatagrams(sock, r.input)
 	r.running = true
 	r.id = r.stack.Addr()
-	r.stack.RegisterProto(Proto, r.input)
 	r.originate()
 	r.sendHellos()
 	r.scheduleHello()
@@ -216,6 +226,8 @@ func (r *Router) Stop() {
 		return
 	}
 	r.running = false
+	r.sock.Close() // releases protocol 73 for a future Start
+	r.sock = nil
 	r.sched.Cancel(r.helloEv)
 	r.sched.Cancel(r.refreshEv)
 	r.deadTicker.Stop()
@@ -282,22 +294,22 @@ func (r *Router) sendHellos() {
 
 func (r *Router) send(ifName string, payload []byte) {
 	r.Stats.BytesSent += uint64(len(payload))
-	_ = r.stack.SendVia(ifName, Proto, ip.Limited, payload, 1)
+	_ = r.sock.SendVia(ifName, ip.Limited, payload)
 }
 
-func (r *Router) input(pkt *ip.Packet, ifName string) {
-	if !r.running || pkt.Src == r.id {
+func (r *Router) input(d socket.Datagram) {
+	if !r.running || d.Src == r.id {
 		return
 	}
-	msg, err := Decode(pkt.Payload)
+	msg, err := Decode(d.Data)
 	if err != nil {
 		return
 	}
 	switch m := msg.(type) {
 	case *Hello:
-		r.handleHello(m, pkt.Src, ifName)
+		r.handleHello(m, d.Src, d.IfName)
 	case *LSA:
-		r.handleLSA(m, ifName)
+		r.handleLSA(m, d.IfName)
 	}
 }
 

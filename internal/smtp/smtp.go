@@ -1,17 +1,16 @@
 // Package smtp implements the mail service of the paper's evaluation
 // ("we have used the gateway for ... electronic mail ... in both
 // directions"): a minimal RFC 821 subset (HELO, MAIL FROM, RCPT TO,
-// DATA, QUIT) over the simulated TCP, with per-recipient mailboxes and
+// DATA, QUIT) over the socket layer, with per-recipient mailboxes and
 // a client used by the BBS and the application gateway to relay radio
 // users' mail onto the Internet.
 package smtp
 
 import (
-	"fmt"
 	"strings"
 
 	"packetradio/internal/ip"
-	"packetradio/internal/tcp"
+	"packetradio/internal/socket"
 )
 
 // Port is the SMTP well-known port.
@@ -41,8 +40,9 @@ type Server struct {
 
 type serverSession struct {
 	srv  *Server
-	conn *tcp.Conn
-	line []byte
+	sock *socket.Socket
+	w    *socket.Writer
+	fr   socket.Framer
 
 	from   string
 	rcpts  []string
@@ -51,34 +51,28 @@ type serverSession struct {
 }
 
 // Serve starts the daemon.
-func Serve(tp *tcp.Proto, srv *Server) error {
+func Serve(sl *socket.Layer, srv *Server) error {
 	if srv.Mailboxes == nil {
 		srv.Mailboxes = make(map[string][]Message)
 	}
-	_, err := tp.Listen(Port, func(c *tcp.Conn) {
+	ln, err := sl.Listen(Port, 0)
+	if err != nil {
+		return err
+	}
+	socket.AcceptLoop(ln, func(sock *socket.Socket) {
 		srv.Stats.Sessions++
-		s := &serverSession{srv: srv, conn: c}
-		c.OnData = s.input
-		c.OnPeerClose = func() { c.Close() }
+		s := &serverSession{srv: srv, sock: sock, w: socket.NewWriter(sock)}
+		s.fr.LFOnly = true
+		s.fr.KeepEmpty = true // mail bodies contain blank lines
+		s.fr.OnLine = s.handleLine
+		socket.Pump(sock, s.fr.Push, func(error) { s.w.Close() })
 		s.reply("220 %s SMTP (simulated sendmail 5.x) ready", srv.Hostname)
 	})
-	return err
+	return nil
 }
 
 func (s *serverSession) reply(format string, args ...any) {
-	s.conn.Send([]byte(fmt.Sprintf(format, args...) + "\r\n"))
-}
-
-func (s *serverSession) input(p []byte) {
-	for _, b := range p {
-		if b == '\n' {
-			line := strings.TrimRight(string(s.line), "\r")
-			s.line = s.line[:0]
-			s.handleLine(line)
-			continue
-		}
-		s.line = append(s.line, b)
-	}
+	s.w.Printf(format+"\r\n", args...)
 }
 
 func (s *serverSession) handleLine(line string) {
@@ -107,6 +101,9 @@ func (s *serverSession) handleLine(line string) {
 		s.body.WriteString("\n")
 		return
 	}
+	if line == "" {
+		return
+	}
 	upper := strings.ToUpper(line)
 	switch {
 	case strings.HasPrefix(upper, "HELO"):
@@ -132,7 +129,7 @@ func (s *serverSession) handleLine(line string) {
 		s.reply("354 Enter mail, end with \".\" on a line by itself")
 	case strings.HasPrefix(upper, "QUIT"):
 		s.reply("221 %s closing connection", s.srv.Hostname)
-		s.conn.Close()
+		s.w.Close()
 	default:
 		s.reply("500 Command unrecognized")
 	}
@@ -148,9 +145,9 @@ type Result struct {
 
 // Send submits one message to the SMTP server at addr, invoking done
 // when the session ends.
-func Send(tp *tcp.Proto, addr ip.Addr, msg Message, done func(Result)) {
-	conn := tp.Dial(addr, Port)
-	var lineBuf []byte
+func Send(sl *socket.Layer, addr ip.Addr, msg Message, done func(Result)) {
+	sock := sl.Dial(addr, Port)
+	w := socket.NewWriter(sock)
 	finished := false
 	finish := func(r Result) {
 		if finished {
@@ -190,46 +187,40 @@ func Send(tp *tcp.Proto, addr ip.Addr, msg Message, done func(Result)) {
 		{"221", ""},
 	}
 
-	conn.OnClose = func(err error) {
+	var fr socket.Framer
+	fr.LFOnly = true
+	fr.OnLine = func(line string) {
+		if len(script) == 0 || line == "" {
+			return
+		}
+		st := script[0]
+		if !strings.HasPrefix(line, st.expect) {
+			if line[0] >= '4' && line[0] <= '5' {
+				finish(Result{OK: false, Error: line})
+				sock.Close()
+				script = nil
+			}
+			return
+		}
+		script = script[1:]
+		if st.send != "" {
+			if strings.HasSuffix(st.send, "\r\n") {
+				w.Write([]byte(st.send))
+			} else {
+				w.Write([]byte(st.send + "\r\n"))
+			}
+		}
+		if len(script) == 0 {
+			finish(Result{OK: true})
+			sock.Close()
+		}
+	}
+	socket.Pump(sock, fr.Push, func(err error) {
 		if err != nil {
 			finish(Result{OK: false, Error: err.Error()})
 		} else if len(script) > 0 {
 			finish(Result{OK: false, Error: "connection closed mid-session"})
 		}
-	}
-	conn.OnPeerClose = func() { conn.Close() }
-	conn.OnData = func(p []byte) {
-		for _, b := range p {
-			if b != '\n' {
-				lineBuf = append(lineBuf, b)
-				continue
-			}
-			line := strings.TrimRight(string(lineBuf), "\r")
-			lineBuf = lineBuf[:0]
-			if len(script) == 0 {
-				continue
-			}
-			st := script[0]
-			if !strings.HasPrefix(line, st.expect) {
-				if line[0] >= '4' && line[0] <= '5' {
-					finish(Result{OK: false, Error: line})
-					conn.Close()
-					script = nil
-				}
-				continue
-			}
-			script = script[1:]
-			if st.send != "" {
-				if strings.HasSuffix(st.send, "\r\n") {
-					conn.Send([]byte(st.send))
-				} else {
-					conn.Send([]byte(st.send + "\r\n"))
-				}
-			}
-			if len(script) == 0 {
-				finish(Result{OK: true})
-				conn.Close()
-			}
-		}
-	}
+		sock.Close()
+	})
 }

@@ -9,19 +9,19 @@ import (
 	"packetradio/internal/ip"
 	"packetradio/internal/ipstack"
 	"packetradio/internal/sim"
-	"packetradio/internal/tcp"
+	"packetradio/internal/socket"
 )
 
-func twoHosts(t *testing.T) (*sim.Scheduler, *tcp.Proto, *tcp.Proto) {
+func twoHosts(t *testing.T) (*sim.Scheduler, *socket.Layer, *socket.Layer) {
 	t.Helper()
 	s := sim.NewScheduler(1)
 	g := ether.NewSegment(s, 0)
-	mk := func(name, addr string) *tcp.Proto {
+	mk := func(name, addr string) *socket.Layer {
 		st := ipstack.New(s, name)
 		n := g.Attach("qe0", ip.MustAddr(addr), st)
 		n.Init()
 		st.AddInterface(n, ip.MustAddr(addr), ip.MaskClassC)
-		return tcp.New(st)
+		return socket.New(st)
 	}
 	return s, mk("client", "10.0.0.1"), mk("server", "10.0.0.2")
 }
@@ -100,8 +100,8 @@ func TestRejectBadSequence(t *testing.T) {
 	// Drive the protocol manually: DATA before MAIL must 503.
 	conn := tpA.Dial(ip.MustAddr("10.0.0.2"), Port)
 	var out strings.Builder
-	conn.OnData = func(p []byte) { out.Write(p) }
-	conn.OnConnect = func() { conn.Send([]byte("DATA\r\n")) }
+	socket.Pump(conn, func(p []byte) { out.Write(p) }, nil)
+	conn.Write([]byte("DATA\r\n"))
 	s.RunFor(time.Minute)
 	if !strings.Contains(out.String(), "503") {
 		t.Fatalf("no 503: %q", out.String())
@@ -113,8 +113,8 @@ func TestUnknownCommand500(t *testing.T) {
 	Serve(tpB, &Server{Hostname: "june"})
 	conn := tpA.Dial(ip.MustAddr("10.0.0.2"), Port)
 	var out strings.Builder
-	conn.OnData = func(p []byte) { out.Write(p) }
-	conn.OnConnect = func() { conn.Send([]byte("EHLO modern\r\n")) }
+	socket.Pump(conn, func(p []byte) { out.Write(p) }, nil)
+	conn.Write([]byte("EHLO modern\r\n"))
 	s.RunFor(time.Minute)
 	if !strings.Contains(out.String(), "500") {
 		t.Fatalf("no 500: %q", out.String())

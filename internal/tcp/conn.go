@@ -77,17 +77,28 @@ type Conn struct {
 	// OnClose fires exactly once when the connection is fully down;
 	// err is nil for a clean close.
 	OnClose func(error)
+	// OnAcked fires when the peer acknowledges new data, i.e. when
+	// send-buffer space is freed. The socket layer pumps its send
+	// queue from here.
+	OnAcked func()
+	// WindowFunc, when non-nil, supplies the receive window to
+	// advertise (bytes). The socket layer points it at the free space
+	// in its receive sockbuf, which is what turns a slow reader into
+	// sender backpressure.
+	WindowFunc func() int
 
 	Stats ConnStats
 
-	proto    *Proto
-	key      connKey
-	cfg      Config
-	active   bool
-	listener *Listener
-	state    State
-	err      error
-	closed   bool
+	proto      *Proto
+	key        connKey
+	cfg        Config
+	active     bool
+	listener   *Listener
+	synPending bool // passive handshake not yet resolved (OnSynDone owed)
+	state      State
+	err        error
+	closed     bool
+	lastAdvWnd uint16
 
 	// Send state.
 	iss      uint32
@@ -206,11 +217,41 @@ func (c *Conn) sendSYN(withAck bool) {
 }
 
 func (c *Conn) advertisedWindow() uint16 {
+	w := c.windowNow()
+	c.lastAdvWnd = w
+	return w
+}
+
+func (c *Conn) windowNow() uint16 {
 	w := c.cfg.WindowBytes
+	if c.WindowFunc != nil {
+		w = c.WindowFunc()
+		if w < 0 {
+			w = 0
+		}
+	}
 	if w > 65535 {
 		w = 65535
 	}
 	return uint16(w)
+}
+
+// NotifyWindowOpen tells the connection that the receive-buffer owner
+// drained data. If the window has grown materially since the last
+// advertisement (or reopened from zero), an ACK carrying the new
+// window goes out so a stalled sender resumes — 4.3BSD's window-update
+// path out of sorwakeup/tcp_output.
+func (c *Conn) NotifyWindowOpen() {
+	switch c.state {
+	case StateEstablished, StateFinWait1, StateFinWait2:
+	default:
+		return
+	}
+	w := c.windowNow()
+	growth := int(w) - int(c.lastAdvWnd)
+	if (c.lastAdvWnd == 0 && w > 0) || growth >= 2*c.sendMSS() {
+		c.sendAck()
+	}
 }
 
 func (c *Conn) onEstablished() {
@@ -221,6 +262,12 @@ func (c *Conn) onEstablished() {
 		}
 	} else {
 		c.proto.Stats.Accepts++
+		if c.synPending {
+			c.synPending = false
+			if c.listener != nil && c.listener.OnSynDone != nil {
+				c.listener.OnSynDone(true)
+			}
+		}
 		if c.listener != nil && c.listener.Accept != nil {
 			c.listener.Accept(c)
 		}
@@ -362,6 +409,17 @@ func (c *Conn) retransmit() {
 	}
 	if c.finSent && !c.finAcked {
 		c.sendFIN()
+		return
+	}
+	if len(c.sendBuf) > 0 {
+		// Nothing outstanding but data waiting: the peer's window is
+		// closed. Force one byte past it as a window probe; the
+		// receiver buffers and ACKs it, which both resets our retry
+		// count and carries the reopened window when the application
+		// finally reads.
+		c.sendData(c.sndNxt, c.sendBuf[:1], false)
+		c.sndNxt++
+		c.Stats.BytesSent++
 	}
 }
 
@@ -543,6 +601,9 @@ func (c *Conn) processAck(seg *Segment) {
 			}
 		}
 		c.sndWnd = int(seg.Window)
+		if dataAcked > 0 && c.OnAcked != nil {
+			c.OnAcked()
+		}
 		c.trySend()
 		return
 	}
@@ -782,6 +843,12 @@ func (c *Conn) teardown(err error) {
 	c.closed = true
 	c.err = err
 	c.state = StateClosed
+	if c.synPending {
+		c.synPending = false
+		if c.listener != nil && c.listener.OnSynDone != nil {
+			c.listener.OnSynDone(false)
+		}
+	}
 	c.stopRexmt()
 	if c.timewait != nil {
 		c.proto.sched.Cancel(c.timewait)

@@ -53,6 +53,11 @@ type Config struct {
 	SlowStart bool
 }
 
+// WithDefaults returns the configuration with unset fields filled in —
+// the effective values a connection will run with. The socket layer
+// sizes its buffers from this.
+func (c Config) WithDefaults() Config { return c.withDefaults() }
+
 func (c Config) withDefaults() Config {
 	if c.FixedRTO <= 0 {
 		c.FixedRTO = 1500 * time.Millisecond
@@ -80,13 +85,14 @@ func (c Config) withDefaults() Config {
 
 // ProtoStats counts layer-wide events.
 type ProtoStats struct {
-	SegsIn      uint64
-	SegsOut     uint64
-	BadChecksum uint64
-	RSTsOut     uint64
-	NoPort      uint64
-	Accepts     uint64
-	Connects    uint64
+	SegsIn        uint64
+	SegsOut       uint64
+	BadChecksum   uint64
+	RSTsOut       uint64
+	NoPort        uint64
+	Accepts       uint64
+	Connects      uint64
+	ListenRefused uint64 // SYNs refused by a listener's OnSyn gate
 }
 
 type connKey struct {
@@ -102,11 +108,25 @@ type Listener struct {
 	Accept func(*Conn) // invoked at establishment
 	Config Config      // config applied to accepted connections
 
+	// OnSyn, when non-nil, is consulted for each inbound SYN before a
+	// connection is created; returning false refuses it with RST. The
+	// socket layer enforces its listen backlog here.
+	OnSyn func() bool
+	// OnSynDone, when non-nil, fires once per connection this listener
+	// spawned, when its handshake either completes (established=true,
+	// just before Accept) or fails (established=false).
+	OnSynDone func(established bool)
+
 	proto *Proto
 }
 
-// Close stops accepting.
-func (l *Listener) Close() { delete(l.proto.listeners, l.Port) }
+// Close stops accepting. Idempotent, and a no-op if another listener
+// has since bound the port.
+func (l *Listener) Close() {
+	if l.proto.listeners[l.Port] == l {
+		delete(l.proto.listeners, l.Port)
+	}
+}
 
 // Proto is a host's TCP layer.
 type Proto struct {
@@ -212,8 +232,17 @@ func (p *Proto) input(pkt *ip.Packet, ifName string) {
 	// New connection? Only a bare SYN to a listening port qualifies.
 	if seg.has(FlagSYN) && !seg.has(FlagACK) {
 		if l, ok := p.listeners[seg.DstPort]; ok {
+			if l.OnSyn != nil && !l.OnSyn() {
+				// Backlog full (or listener refusing): answer RST so
+				// the client fails fast with ECONNREFUSED rather than
+				// retrying a SYN we will never service.
+				p.Stats.ListenRefused++
+				p.sendRST(key, seg)
+				return
+			}
 			c := newConn(p, key, l.Config, false)
 			c.listener = l
+			c.synPending = true
 			p.conns[key] = c
 			c.passiveOpen(seg)
 			return

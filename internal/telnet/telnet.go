@@ -3,17 +3,19 @@
 // system that was on our Ethernet by way of the new gateway"; "Telnet,
 // FTP, and SMTP have all been successfully used across the gateway").
 //
-// It is a line-oriented NVT subset over the simulated TCP: no option
+// It is a line-oriented NVT subset over the socket layer: no option
 // negotiation (the 1988 PC clients mostly refused options anyway),
-// CRLF line endings, a login exchange, and a small command shell.
+// CRLF line endings, a login exchange, and a small command shell. Like
+// the era's real telnetd, it is written purely against the socket
+// API — nothing in here knows whether the bytes cross an Ethernet or
+// the 1200 bps radio channel.
 package telnet
 
 import (
-	"fmt"
 	"strings"
 
 	"packetradio/internal/ip"
-	"packetradio/internal/tcp"
+	"packetradio/internal/socket"
 )
 
 // Port is the well-known telnet port.
@@ -22,7 +24,7 @@ const Port = 23
 // Shell evaluates one command line and returns output lines.
 type Shell func(cmd string) string
 
-// Server is a telnet daemon bound to a TCP layer.
+// Server is a telnet daemon bound to a socket layer.
 type Server struct {
 	// Hostname appears in the banner and prompt.
 	Hostname string
@@ -37,8 +39,6 @@ type Server struct {
 		LoginFails uint64
 		Commands   uint64
 	}
-
-	tp *tcp.Proto
 }
 
 // session states.
@@ -50,30 +50,40 @@ const (
 
 type session struct {
 	srv   *Server
-	conn  *tcp.Conn
+	sock  *socket.Socket
+	w     *socket.Writer
+	fr    socket.Framer
 	state int
 	user  string
-	line  []byte
 }
 
-// Serve starts the daemon on tp.
-func Serve(tp *tcp.Proto, srv *Server) error {
-	srv.tp = tp
+// Serve starts the daemon on sl.
+func Serve(sl *socket.Layer, srv *Server) error {
 	if srv.Shell == nil {
-		srv.Shell = DefaultShell(srv.Hostname, tp)
+		srv.Shell = DefaultShell(srv.Hostname)
 	}
-	_, err := tp.Listen(Port, func(c *tcp.Conn) {
+	ln, err := sl.Listen(Port, 0)
+	if err != nil {
+		return err
+	}
+	socket.AcceptLoop(ln, func(sock *socket.Socket) {
 		srv.Stats.Sessions++
-		s := &session{srv: srv, conn: c}
-		c.OnData = s.input
-		c.OnPeerClose = func() { c.Close() }
-		s.banner()
+		newSession(srv, sock)
 	})
-	return err
+	return nil
+}
+
+func newSession(srv *Server, sock *socket.Socket) {
+	s := &session{srv: srv, sock: sock, w: socket.NewWriter(sock)}
+	s.fr.OnLine = s.handleLine
+	// Flush queued output (the Writer may hold more than the sockbuf)
+	// before closing on the peer's EOF.
+	socket.Pump(sock, s.fr.Push, func(error) { s.w.Close() })
+	s.banner()
 }
 
 func (s *session) printf(format string, args ...any) {
-	s.conn.Send([]byte(fmt.Sprintf(format, args...)))
+	s.w.Printf(format, args...)
 }
 
 func (s *session) banner() {
@@ -88,20 +98,6 @@ func (s *session) banner() {
 }
 
 func (s *session) prompt() { s.printf("%s%% ", s.srv.Hostname) }
-
-func (s *session) input(p []byte) {
-	for _, b := range p {
-		if b == '\n' || b == '\r' {
-			if len(s.line) > 0 {
-				line := string(s.line)
-				s.line = s.line[:0]
-				s.handleLine(line)
-			}
-			continue
-		}
-		s.line = append(s.line, b)
-	}
-}
 
 func (s *session) handleLine(line string) {
 	switch s.state {
@@ -124,7 +120,7 @@ func (s *session) handleLine(line string) {
 		cmd := strings.TrimSpace(line)
 		if cmd == "logout" || cmd == "exit" {
 			s.printf("logout\r\n")
-			s.conn.Close()
+			s.w.Close() // flush, then close the socket
 			return
 		}
 		out := s.srv.Shell(cmd)
@@ -136,7 +132,7 @@ func (s *session) handleLine(line string) {
 }
 
 // DefaultShell provides a few era-appropriate commands.
-func DefaultShell(hostname string, tp *tcp.Proto) Shell {
+func DefaultShell(hostname string) Shell {
 	return func(cmd string) string {
 		fields := strings.Fields(cmd)
 		if len(fields) == 0 {
@@ -166,23 +162,28 @@ type Client struct {
 	// Closed reports the connection ending.
 	Closed bool
 
-	Conn *tcp.Conn
+	// Sock is the underlying stream socket (stats, options).
+	Sock *socket.Socket
+
+	w *socket.Writer
 }
 
 // DialClient connects a client to addr's telnet port.
-func DialClient(tp *tcp.Proto, addr ip.Addr) *Client {
+func DialClient(sl *socket.Layer, addr ip.Addr) *Client {
 	cl := &Client{}
-	cl.Conn = tp.Dial(addr, Port)
-	cl.Conn.OnData = func(p []byte) {
+	cl.Sock = sl.Dial(addr, Port)
+	cl.w = socket.NewWriter(cl.Sock)
+	socket.Pump(cl.Sock, func(p []byte) {
 		cl.Output.Write(p)
 		if cl.OnOutput != nil {
 			cl.OnOutput(p)
 		}
-	}
-	cl.Conn.OnClose = func(error) { cl.Closed = true }
-	cl.Conn.OnPeerClose = func() { cl.Conn.Close() }
+	}, func(error) {
+		cl.Closed = true
+		cl.Sock.Close()
+	})
 	return cl
 }
 
 // SendLine types one line.
-func (c *Client) SendLine(line string) { c.Conn.Send([]byte(line + "\r\n")) }
+func (c *Client) SendLine(line string) { c.w.Write([]byte(line + "\r\n")) }

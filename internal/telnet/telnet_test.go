@@ -9,23 +9,21 @@ import (
 	"packetradio/internal/ip"
 	"packetradio/internal/ipstack"
 	"packetradio/internal/sim"
-	"packetradio/internal/tcp"
+	"packetradio/internal/socket"
 )
 
-func twoHosts(t *testing.T) (*sim.Scheduler, *tcp.Proto, *tcp.Proto) {
+func twoHosts(t *testing.T) (*sim.Scheduler, *socket.Layer, *socket.Layer) {
 	t.Helper()
 	s := sim.NewScheduler(1)
 	g := ether.NewSegment(s, 0)
-	mk := func(name, addr string) (*ipstack.Stack, *tcp.Proto) {
+	mk := func(name, addr string) *socket.Layer {
 		st := ipstack.New(s, name)
 		n := g.Attach("qe0", ip.MustAddr(addr), st)
 		n.Init()
 		st.AddInterface(n, ip.MustAddr(addr), ip.MaskClassC)
-		return st, tcp.New(st)
+		return socket.New(st)
 	}
-	_, tpA := mk("client", "10.0.0.1")
-	_, tpB := mk("server", "10.0.0.2")
-	return s, tpA, tpB
+	return s, mk("client", "10.0.0.1"), mk("server", "10.0.0.2")
 }
 
 func TestLoginAndShell(t *testing.T) {

@@ -21,6 +21,8 @@ var (
 	errChecksum = errors.New("udp: bad checksum")
 	// ErrPortInUse reports a Bind to an occupied port.
 	ErrPortInUse = errors.New("udp: port in use")
+	// ErrClosed reports I/O on a closed socket.
+	ErrClosed = errors.New("udp: use of closed socket")
 )
 
 // pseudoChecksum computes the Internet checksum over the RFC 768
@@ -101,6 +103,7 @@ type Socket struct {
 
 	mux     *Mux
 	handler Handler
+	closed  bool
 }
 
 // Bind claims a port; port 0 picks an ephemeral one.
@@ -123,11 +126,24 @@ func (m *Mux) Bind(port uint16, h Handler) (*Socket, error) {
 	return s, nil
 }
 
-// Close releases the port.
-func (s *Socket) Close() { delete(s.mux.binds, s.Port) }
+// Close releases the port. Idempotent; if the port has since been
+// rebound by another socket, that binding is left alone.
+func (s *Socket) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.handler = nil
+	if s.mux.binds[s.Port] == s {
+		delete(s.mux.binds, s.Port)
+	}
+}
 
 // SendTo transmits one datagram from this socket.
 func (s *Socket) SendTo(dst ip.Addr, dstPort uint16, payload []byte) error {
+	if s.closed {
+		return ErrClosed
+	}
 	s.mux.Stats.Out++
 	seg := Marshal(s.mux.stack.Addr(), dst, s.Port, dstPort, payload)
 	return s.mux.stack.Send(ip.ProtoUDP, ip.Addr{}, dst, seg, 0, 0)
@@ -141,7 +157,9 @@ func (m *Mux) input(pkt *ip.Packet, ifName string) {
 	}
 	m.Stats.In++
 	s := m.binds[dstPort]
-	if s == nil {
+	if s == nil || s.closed {
+		// The closed check guards a datagram already in flight when its
+		// socket closed within the same event cascade.
 		m.Stats.NoPort++
 		m.stack.RaiseError(icmp.TypeDestUnreachable, icmp.CodePortUnreachable, pkt)
 		return

@@ -145,3 +145,54 @@ func TestPortConflictAndEphemeral(t *testing.T) {
 		t.Fatal("closed port not reusable")
 	}
 }
+
+// Regression: after Close, SendTo must fail instead of transmitting
+// from the dead socket, and a datagram already in flight must not
+// invoke the stale handler.
+func TestClosedSocketSendsNothingAndHearsNothing(t *testing.T) {
+	s, a, b := twoMuxes(t)
+	fired := 0
+	sock, _ := b.Bind(53, func(ip.Addr, uint16, []byte) { fired++ })
+	cli, _ := a.Bind(0, nil)
+
+	// Put a datagram in flight, then close the destination socket
+	// before the delivery event runs.
+	cli.SendTo(ip.MustAddr("10.0.0.2"), 53, []byte("late"))
+	sock.Close()
+	s.RunFor(time.Second)
+	if fired != 0 {
+		t.Fatalf("stale handler invoked %d times after Close", fired)
+	}
+	if b.Stats.NoPort != 1 {
+		t.Fatalf("NoPort = %d, want 1", b.Stats.NoPort)
+	}
+
+	// SendTo on the closed socket must refuse, not transmit.
+	outBefore := b.Stats.Out
+	if err := sock.SendTo(ip.MustAddr("10.0.0.1"), 53, []byte("zombie")); err == nil {
+		t.Fatal("SendTo on closed socket succeeded")
+	}
+	s.RunFor(time.Second)
+	if b.Stats.Out != outBefore {
+		t.Fatalf("closed socket transmitted: Out %d -> %d", outBefore, b.Stats.Out)
+	}
+}
+
+// Regression: double-Close must be idempotent, and must not tear down
+// a successor socket that has since bound the same port.
+func TestDoubleCloseLeavesSuccessorBound(t *testing.T) {
+	s, a, b := twoMuxes(t)
+	old, _ := b.Bind(53, nil)
+	old.Close()
+	var got []byte
+	if _, err := b.Bind(53, func(_ ip.Addr, _ uint16, p []byte) { got = p }); err != nil {
+		t.Fatal(err)
+	}
+	old.Close() // second close of the dead socket
+	cli, _ := a.Bind(0, nil)
+	cli.SendTo(ip.MustAddr("10.0.0.2"), 53, []byte("for the new socket"))
+	s.RunFor(time.Second)
+	if string(got) != "for the new socket" {
+		t.Fatalf("successor socket lost its binding: got %q", got)
+	}
+}

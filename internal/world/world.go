@@ -26,6 +26,7 @@ import (
 	"packetradio/internal/rspf"
 	"packetradio/internal/serial"
 	"packetradio/internal/sim"
+	"packetradio/internal/socket"
 	"packetradio/internal/tnc"
 )
 
@@ -79,6 +80,23 @@ type Host struct {
 	radios map[string]*RadioPort
 	gw     *core.Gateway
 	rtr    *rspf.Router
+	sock   *socket.Layer
+}
+
+// Sockets returns the host's socket layer — the one application-facing
+// API over its TCP, UDP and raw-IP transports — creating it on first
+// use. Hosts with a radio port get StreamDefaults with the AX.25-sized
+// MSS (256-byte MTU − 40 bytes of headers), so streams dialed from a
+// radio host fit the channel without IP fragmentation, exactly as the
+// paper's end hosts were configured.
+func (h *Host) Sockets() *socket.Layer {
+	if h.sock == nil {
+		h.sock = socket.New(h.Stack)
+		if len(h.radios) > 0 {
+			h.sock.StreamDefaults.MSS = 216
+		}
+	}
+	return h.sock
 }
 
 // RadioPort bundles the per-port hardware chain of Figure 1:

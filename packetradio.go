@@ -12,9 +12,11 @@
 //
 // This package is the public facade: it re-exports the topology
 // builder, the canned Seattle scenario of the paper's deployment, and
-// the protocol layers an application needs. The implementation lives
-// in internal/ packages (one per subsystem; see DESIGN.md for the
-// inventory and EXPERIMENTS.md for the reproduced evaluation).
+// the one application-facing API — the 4.3BSD-style socket layer that
+// every service (telnet, FTP, SMTP, the callbook, the application
+// gateway) is written against. The implementation lives in internal/
+// packages (one per subsystem; see DESIGN.md for the inventory and
+// EXPERIMENTS.md for the reproduced evaluation).
 //
 // # Quickstart
 //
@@ -24,6 +26,13 @@
 //			fmt.Println("reply in", rtt)
 //		})
 //	s.W.Run(2 * time.Minute) // simulated time; returns in microseconds
+//
+// Applications use each host's socket layer (Host.Sockets), never raw
+// protocol internals:
+//
+//	ln, _ := s.Internet.Sockets().Listen(7, 5)
+//	ln.OnAcceptable = func() { sock, _ := ln.Accept(); ... }
+//	c := s.PCs[0].Sockets().Dial(packetradio.InternetIP, 7)
 //
 // Everything runs on a virtual clock: hours of 1200 bps airtime
 // simulate in milliseconds, and runs are bit-for-bit reproducible for
@@ -46,10 +55,10 @@ import (
 	"packetradio/internal/serial"
 	"packetradio/internal/sim"
 	"packetradio/internal/smtp"
+	"packetradio/internal/socket"
 	"packetradio/internal/tcp"
 	"packetradio/internal/telnet"
 	"packetradio/internal/tnc"
-	"packetradio/internal/udp"
 	"packetradio/internal/world"
 )
 
@@ -128,17 +137,65 @@ func ParseCall(s string) (AX25Addr, error) { return ax25.NewAddr(s) }
 // MustCall is ParseCall that panics (literals).
 func MustCall(s string) AX25Addr { return ax25.MustAddr(s) }
 
-// Protocol layers.
+// The socket layer — the application API. Everything above the
+// transports programs against these types; the per-protocol callback
+// surfaces (tcp.Conn, udp.Handler) are no longer exported.
+type (
+	// Sockets is one host's socket layer (Host.Sockets or NewSockets).
+	Sockets = socket.Layer
+	// Socket is one socket: SOCK_STREAM, SOCK_DGRAM or SOCK_RAW.
+	Socket = socket.Socket
+	// Listener is a listening stream socket with a bounded backlog.
+	Listener = socket.Listener
+	// Datagram is a received datagram with its metadata.
+	Datagram = socket.Datagram
+	// Framer assembles lines / counted regions from a byte stream.
+	Framer = socket.Framer
+	// Writer trickles queued output into a stream socket as the send
+	// buffer opens (the event-driven blocking write).
+	Writer = socket.Writer
+	// TCPConfig tunes stream sockets (the §4.1 RTO experiment knobs).
+	TCPConfig = tcp.Config
+	// TCPStats are per-stream transport counters (Socket.StreamStats).
+	TCPStats = tcp.ConnStats
+)
+
+// Socket-layer sentinels (EWOULDBLOCK-style results).
+var (
+	ErrWouldBlock = socket.ErrWouldBlock
+	ErrSockClosed = socket.ErrClosed
+)
+
+// SockType values for Socket.SockType.
+const (
+	SockStream = socket.SockStream
+	SockDgram  = socket.SockDgram
+	SockRaw    = socket.SockRaw
+)
+
+// Shutdown directions for Socket.Shutdown.
+const (
+	ShutRd   = socket.ShutRd
+	ShutWr   = socket.ShutWr
+	ShutRdWr = socket.ShutRdWr
+)
+
+// NewSockets attaches a socket layer to a stack. Hosts built through
+// World already have one (Host.Sockets); this is for hand-assembled
+// stacks.
+func NewSockets(s *Stack) *Sockets { return socket.New(s) }
+
+// NewWriter attaches a Writer to a stream socket.
+func NewWriter(s *Socket) *Writer { return socket.NewWriter(s) }
+
+// Pump wires a stream socket's readable events into sink; onClose
+// fires once at EOF (nil) or on a connection error.
+func Pump(s *Socket, sink func([]byte), onClose func(error)) { socket.Pump(s, sink, onClose) }
+
+// Substrate layers.
 type (
 	// Stack is a host's IP layer.
 	Stack = ipstack.Stack
-	// TCP is a host's TCP layer; TCPConn one connection.
-	TCP       = tcp.Proto
-	TCPConn   = tcp.Conn
-	TCPConfig = tcp.Config
-	// UDP is a host's UDP layer.
-	UDP       = udp.Mux
-	UDPSocket = udp.Socket
 	// Driver is the paper's packet-radio pseudo-device driver.
 	Driver = core.PacketRadioIf
 	// Gateway is the kernel gateway composition (forwarding + ACL).
@@ -201,9 +258,9 @@ func NewNativeTNC(s *Scheduler, host *SerialEnd, rf *radio.Transceiver, call AX2
 }
 
 // NewAppGateway wires the §2.4 application gateway to a packet-radio
-// driver and a TCP layer.
-func NewAppGateway(s *Scheduler, drv *Driver, tp *TCP) *AppGateway {
-	return appgw.New(s, drv, tp)
+// driver and a socket layer.
+func NewAppGateway(s *Scheduler, drv *Driver, sl *Sockets) *AppGateway {
+	return appgw.New(s, drv, sl)
 }
 
 // RTO policy constants for TCPConfig.Mode (the §4.1 experiment knob).
@@ -211,12 +268,6 @@ const (
 	RTOAdaptive = tcp.RTOAdaptive
 	RTOFixed    = tcp.RTOFixed
 )
-
-// NewTCP attaches a TCP layer to a host's stack.
-func NewTCP(s *Stack) *TCP { return tcp.New(s) }
-
-// NewUDP attaches a UDP layer to a host's stack.
-func NewUDP(s *Stack) *UDP { return udp.NewMux(s) }
 
 // Services.
 type (
@@ -231,22 +282,31 @@ type (
 	CallbookRec  = callbook.Record
 )
 
-// ServeTelnet starts a telnet daemon on tp.
-func ServeTelnet(tp *TCP, srv *TelnetServer) error { return telnet.Serve(tp, srv) }
+// ServeTelnet starts a telnet daemon on a socket layer.
+func ServeTelnet(sl *Sockets, srv *TelnetServer) error { return telnet.Serve(sl, srv) }
 
-// ServeFTP starts an FTP daemon on tp.
-func ServeFTP(tp *TCP, srv *FTPServer) error { return ftp.Serve(tp, srv) }
+// ServeFTP starts an FTP daemon on a socket layer.
+func ServeFTP(sl *Sockets, srv *FTPServer) error { return ftp.Serve(sl, srv) }
 
-// ServeSMTP starts an SMTP daemon on tp.
-func ServeSMTP(tp *TCP, srv *SMTPServer) error { return smtp.Serve(tp, srv) }
+// ServeSMTP starts an SMTP daemon on a socket layer.
+func ServeSMTP(sl *Sockets, srv *SMTPServer) error { return smtp.Serve(sl, srv) }
 
 // SendMail submits one message to the SMTP server at addr.
-func SendMail(tp *TCP, addr IPAddr, msg SMTPMessage, done func(smtp.Result)) {
-	smtp.Send(tp, addr, msg, done)
+func SendMail(sl *Sockets, addr IPAddr, msg SMTPMessage, done func(smtp.Result)) {
+	smtp.Send(sl, addr, msg, done)
 }
 
 // DialTelnet connects a scripted telnet client.
-func DialTelnet(tp *TCP, addr IPAddr) *TelnetClient { return telnet.DialClient(tp, addr) }
+func DialTelnet(sl *Sockets, addr IPAddr) *TelnetClient { return telnet.DialClient(sl, addr) }
 
 // DialFTP connects a scripted FTP client.
-func DialFTP(tp *TCP, addr IPAddr) *FTPClient { return ftp.Dial(tp, addr) }
+func DialFTP(sl *Sockets, addr IPAddr) *FTPClient { return ftp.Dial(sl, addr) }
+
+// ServeCallbook starts a §5 callbook server on a socket layer.
+func ServeCallbook(sl *Sockets, srv *CallbookSrv) error { return callbook.Serve(sl, srv) }
+
+// NewCallbookResolver opens a callbook resolver (client) on a socket
+// layer.
+func NewCallbookResolver(sl *Sockets) (*callbook.Resolver, error) {
+	return callbook.NewResolver(sl)
+}

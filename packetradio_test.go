@@ -25,14 +25,12 @@ func TestFacadeSeattlePingThroughGateway(t *testing.T) {
 
 func TestFacadeTelnetSessionAcrossGateway(t *testing.T) {
 	s := packetradio.NewSeattle(packetradio.SeattleConfig{Seed: 2, NumPCs: 1})
-	inetTCP := packetradio.NewTCP(s.Internet.Stack)
-	inetTCP.DefaultConfig = packetradio.TCPConfig{MSS: 216}
-	if err := packetradio.ServeTelnet(inetTCP, &packetradio.TelnetServer{Hostname: "june"}); err != nil {
+	inetSL := s.Internet.Sockets()
+	inetSL.StreamDefaults = packetradio.TCPConfig{MSS: 216}
+	if err := packetradio.ServeTelnet(inetSL, &packetradio.TelnetServer{Hostname: "june"}); err != nil {
 		t.Fatal(err)
 	}
-	pcTCP := packetradio.NewTCP(s.PCs[0].Stack)
-	pcTCP.DefaultConfig = packetradio.TCPConfig{MSS: 216}
-	cl := packetradio.DialTelnet(pcTCP, packetradio.InternetIP)
+	cl := packetradio.DialTelnet(s.PCs[0].Sockets(), packetradio.InternetIP)
 	s.W.Run(3 * time.Minute)
 	cl.SendLine("echo across the gateway")
 	s.W.Run(3 * time.Minute)
@@ -44,22 +42,31 @@ func TestFacadeTelnetSessionAcrossGateway(t *testing.T) {
 func TestFacadeFixedVsAdaptiveRTO(t *testing.T) {
 	run := func(mode packetradio.TCPConfig) uint64 {
 		s := packetradio.NewSeattle(packetradio.SeattleConfig{Seed: 3, NumPCs: 1})
-		inetTCP := packetradio.NewTCP(s.Internet.Stack)
+		inetSL := s.Internet.Sockets()
 		mode.MSS = 216
-		inetTCP.DefaultConfig = mode
-		pcTCP := packetradio.NewTCP(s.PCs[0].Stack)
-		var srv *packetradio.TCPConn
-		pcTCP.Listen(9000, func(c *packetradio.TCPConn) {
-			srv = c
-			c.OnData = func([]byte) {}
-		})
-		conn := inetTCP.Dial(packetradio.PCIP(0), 9000)
-		conn.OnConnect = func() { conn.Send(make([]byte, 2048)) }
+		inetSL.StreamDefaults = mode
+		pcSL := s.PCs[0].Sockets()
+		var srv *packetradio.Socket
+		ln, err := pcSL.Listen(9000, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln.OnAcceptable = func() {
+			sock, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			srv = sock
+			packetradio.Pump(sock, nil, nil) // discard-reader
+		}
+		conn := inetSL.Dial(packetradio.PCIP(0), 9000)
+		w := packetradio.NewWriter(conn)
+		w.Write(make([]byte, 2048))
 		s.W.Run(15 * time.Minute)
 		if srv == nil {
 			t.Fatal("no connection")
 		}
-		return srv.Stats.DupBytes
+		return srv.StreamStats().DupBytes
 	}
 	fixed := run(packetradio.TCPConfig{Mode: packetradio.RTOFixed, FixedRTO: 1500 * time.Millisecond, MaxRetries: 100})
 	adaptive := run(packetradio.TCPConfig{Mode: packetradio.RTOAdaptive})
@@ -99,18 +106,17 @@ func TestFacadeCustomWorldWithDigipeater(t *testing.T) {
 
 func TestFacadeSMTPBothDirections(t *testing.T) {
 	s := packetradio.NewSeattle(packetradio.SeattleConfig{Seed: 5, NumPCs: 1})
-	inetTCP := packetradio.NewTCP(s.Internet.Stack)
-	inetTCP.DefaultConfig = packetradio.TCPConfig{MSS: 216}
-	pcTCP := packetradio.NewTCP(s.PCs[0].Stack)
-	pcTCP.DefaultConfig = packetradio.TCPConfig{MSS: 216}
+	inetSL := s.Internet.Sockets()
+	inetSL.StreamDefaults = packetradio.TCPConfig{MSS: 216}
+	pcSL := s.PCs[0].Sockets()
 	inetMail := &packetradio.SMTPServer{Hostname: "june"}
-	packetradio.ServeSMTP(inetTCP, inetMail)
+	packetradio.ServeSMTP(inetSL, inetMail)
 	pcMail := &packetradio.SMTPServer{Hostname: "pc1"}
-	packetradio.ServeSMTP(pcTCP, pcMail)
+	packetradio.ServeSMTP(pcSL, pcMail)
 
-	packetradio.SendMail(pcTCP, packetradio.InternetIP,
+	packetradio.SendMail(pcSL, packetradio.InternetIP,
 		packetradio.SMTPMessage{From: "op@pc1", To: "bcn@june", Body: "radio->inet"}, nil)
-	packetradio.SendMail(inetTCP, packetradio.PCIP(0),
+	packetradio.SendMail(inetSL, packetradio.PCIP(0),
 		packetradio.SMTPMessage{From: "bcn@june", To: "op@pc1", Body: "inet->radio"}, nil)
 	s.W.Run(20 * time.Minute)
 	if len(inetMail.Mailboxes["bcn"]) != 1 || len(pcMail.Mailboxes["op"]) != 1 {
@@ -140,14 +146,12 @@ func TestFacadeDeterminism(t *testing.T) {
 
 func TestFacadeFTPRoundTrip(t *testing.T) {
 	s := packetradio.NewSeattle(packetradio.SeattleConfig{Seed: 8, NumPCs: 1})
-	inetTCP := packetradio.NewTCP(s.Internet.Stack)
-	inetTCP.DefaultConfig = packetradio.TCPConfig{MSS: 216}
-	pcTCP := packetradio.NewTCP(s.PCs[0].Stack)
-	pcTCP.DefaultConfig = packetradio.TCPConfig{MSS: 216}
+	inetSL := s.Internet.Sockets()
+	inetSL.StreamDefaults = packetradio.TCPConfig{MSS: 216}
 	want := bytes.Repeat([]byte("44 Net"), 200)
-	packetradio.ServeFTP(inetTCP, &packetradio.FTPServer{Hostname: "june",
+	packetradio.ServeFTP(inetSL, &packetradio.FTPServer{Hostname: "june",
 		Files: map[string][]byte{"f": want}})
-	cl := packetradio.DialFTP(pcTCP, packetradio.InternetIP)
+	cl := packetradio.DialFTP(s.PCs[0].Sockets(), packetradio.InternetIP)
 	done := false
 	cl.OnComplete = func() { done = true }
 	cl.Get("f")
