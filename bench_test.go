@@ -296,6 +296,17 @@ func BenchmarkE13Churn(b *testing.B) {
 	}
 }
 
+// BenchmarkE14ScaleWorlds: simulator throughput on generated N-station
+// worlds (the burst-datapath payoff; see BENCH_simcore.json).
+func BenchmarkE14ScaleWorlds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.E14(io.Discard)
+		if i == 0 {
+			reportMetrics(b, r, "sim_s_per_wall_s_n200", "events_per_sim_s_n200")
+		}
+	}
+}
+
 // benchTable builds a routing table of n entries: a default route,
 // net routes, and host routes, in the proportions a busy RSPF gateway
 // carries.

@@ -40,6 +40,7 @@ var index = []struct {
 	{"E11", "RSPF reconverges after gateway failure; static blackholes", experiments.E11},
 	{"E12", "RSPF control-plane overhead on the 1200 bps channel", experiments.E12},
 	{"E13", "delivery ratio under link churn: static vs RSPF", experiments.E13},
+	{"E14", "simulator scaling: N-station worlds per wall second", experiments.E14},
 }
 
 func main() {

@@ -37,7 +37,7 @@ type prober struct {
 
 func startProber(w *world.World, from *world.Host, dst ip.Addr, period time.Duration) *prober {
 	p := &prober{w: w, sent: make(map[uint16]sim.Time), got: make(map[uint16]bool)}
-	id, _ := from.Stack.Ping(dst, 56, func(seq uint16, _ time.Duration, _ ip.Addr) {
+	id, _ := from.Stack.PingOpen(dst, 56, func(seq uint16, _ time.Duration, _ ip.Addr) {
 		p.got[seq] = true
 	})
 	p.sent[0] = w.Sched.Now()

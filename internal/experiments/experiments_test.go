@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"io"
 	"strings"
 	"testing"
@@ -180,11 +181,11 @@ func TestE10CSMASaturates(t *testing.T) {
 func TestRunAllProducesReadableReport(t *testing.T) {
 	var sb strings.Builder
 	results := RunAll(&sb)
-	if len(results) != 15 {
+	if len(results) != 16 {
 		t.Fatalf("got %d results", len(results))
 	}
 	out := sb.String()
-	for _, id := range []string{"F1", "F2a", "F2b", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"} {
+	for _, id := range []string{"F1", "F2a", "F2b", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"} {
 		if !strings.Contains(out, "== "+id) {
 			t.Fatalf("report missing section %s", id)
 		}
@@ -244,6 +245,27 @@ func TestE12FastTimersEatTheChannel(t *testing.T) {
 	}
 	if fast <= 0 || slow <= 0 {
 		t.Fatalf("missing utilization metrics: %+v", r.Metrics)
+	}
+}
+
+func TestE14ScalesTo200Stations(t *testing.T) {
+	r := E14(io.Discard)
+	for _, n := range []int{10, 50, 100, 200} {
+		rate := r.Get(fmt.Sprintf("sim_s_per_wall_s_n%d", n))
+		if rate <= 0 {
+			t.Fatalf("no sim rate for N=%d: %+v", n, r.Metrics)
+		}
+		// The point of the burst datapath: even the 200-station world
+		// must step much faster than real time. The bound is kept far
+		// below observed rates (tens of thousands) so slow CI machines
+		// never flake.
+		if rate < 30 {
+			t.Fatalf("N=%d stepped at %.0f sim-s/wall-s — the datapath has regressed badly", n, rate)
+		}
+	}
+	// Light-contention worlds must actually deliver their traffic.
+	if d := r.Get("delivery_n10"); d < 0.5 {
+		t.Fatalf("N=10 delivery ratio %.2f", d)
 	}
 }
 

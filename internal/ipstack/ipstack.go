@@ -275,9 +275,12 @@ func (s *Stack) scheduleReassemblyExpiry() {
 		return
 	}
 	s.reassTick = s.Sched.After(s.reass.Timeout, func() {
+		// Clear the handle unconditionally: the scheduler recycles
+		// fired events, so holding the stale pointer would alias
+		// whatever timer reuses it and block rescheduling forever.
+		s.reassTick = nil
 		s.reass.Expire(s.Sched.Now().Duration())
 		if s.reass.PendingCount() > 0 {
-			s.reassTick = nil
 			s.scheduleReassemblyExpiry()
 		}
 	})
@@ -533,17 +536,36 @@ func (s *Stack) sendICMPError(typ, code uint8, about *ip.Packet) {
 type pingCtx struct {
 	sent     map[uint16]sim.Time
 	callback func(seq uint16, rtt time.Duration, from ip.Addr)
+	open     bool // PingOpen context: survives replies, closed explicitly
 }
 
 // Ping sends one echo request to dst with the given payload size; the
 // callback fires when (if) the matching reply arrives. Returns the
-// id/seq used.
+// id/seq used. The echo context is one-shot: it is released when the
+// reply arrives, so long-running simulations (the scale worlds ping
+// millions of times) do not exhaust the 16-bit ID space. A reply that
+// never comes leaks the id; use PingOpen/ClosePing for long-lived
+// probing.
 func (s *Stack) Ping(dst ip.Addr, size int, cb func(seq uint16, rtt time.Duration, from ip.Addr)) (id, seq uint16) {
+	return s.ping(dst, size, cb, false)
+}
+
+// PingOpen is Ping with a persistent echo context: the id stays
+// registered — surviving replies and losses — so the caller can keep
+// issuing PingSeq follow-ups on it. Release it with ClosePing.
+func (s *Stack) PingOpen(dst ip.Addr, size int, cb func(seq uint16, rtt time.Duration, from ip.Addr)) (id, seq uint16) {
+	return s.ping(dst, size, cb, true)
+}
+
+func (s *Stack) ping(dst ip.Addr, size int, cb func(seq uint16, rtt time.Duration, from ip.Addr), open bool) (id, seq uint16) {
 	id = uint16(len(s.pings) + 1)
-	for s.pings[id] != nil {
+	for tries := 0; s.pings[id] != nil; tries++ {
+		if tries > 1<<16 {
+			panic("ipstack: ping id space exhausted (65536 echo contexts outstanding)")
+		}
 		id++
 	}
-	ctx := &pingCtx{sent: map[uint16]sim.Time{}, callback: cb}
+	ctx := &pingCtx{sent: map[uint16]sim.Time{}, callback: cb, open: open}
 	s.pings[id] = ctx
 	ctx.sent[0] = s.Sched.Now()
 	payload := make([]byte, size)
@@ -554,7 +576,7 @@ func (s *Stack) Ping(dst ip.Addr, size int, cb func(seq uint16, rtt time.Duratio
 	return id, 0
 }
 
-// PingSeq sends a follow-up echo on an existing id.
+// PingSeq sends a follow-up echo on an existing (PingOpen) id.
 func (s *Stack) PingSeq(dst ip.Addr, id, seq uint16, size int) {
 	ctx := s.pings[id]
 	if ctx == nil {
@@ -564,6 +586,9 @@ func (s *Stack) PingSeq(dst ip.Addr, id, seq uint16, size int) {
 	payload := make([]byte, size)
 	s.sendICMP(dst, icmp.NewEcho(id, seq, payload))
 }
+
+// ClosePing releases an echo context created with PingOpen.
+func (s *Stack) ClosePing(id uint16) { delete(s.pings, id) }
 
 func (s *Stack) pingReply(pkt *ip.Packet, m *icmp.Message) {
 	ctx := s.pings[m.ID]
@@ -575,6 +600,11 @@ func (s *Stack) pingReply(pkt *ip.Packet, m *icmp.Message) {
 		return
 	}
 	delete(ctx.sent, m.Seq)
+	// One-shot contexts are released before the callback runs, so a
+	// callback that immediately pings again may reuse the id.
+	if !ctx.open {
+		delete(s.pings, m.ID)
+	}
 	if ctx.callback != nil {
 		ctx.callback(m.Seq, s.Sched.Now().Sub(t0), pkt.Src)
 	}

@@ -142,6 +142,40 @@ func TestReassemblyTimeoutCleansUp(t *testing.T) {
 	}
 }
 
+// Regression for the event-pool aliasing hazard: after an expiry tick
+// fires with nothing pending, the scheduler recycles the event object.
+// If the stack kept the stale handle, a recycled event reused by any
+// other timer would make scheduleReassemblyExpiry think a tick was
+// still pending, and later incomplete datagrams would never expire.
+func TestReassemblyExpiryReschedulesAfterRecycledEvent(t *testing.T) {
+	s, a, b, wa, _ := pairUp(t, 256)
+	dropTail := func(pkt *ip.Packet) bool {
+		if pkt.FragOff > 0 || pkt.MF {
+			return !pkt.MF
+		}
+		return false
+	}
+	wa.drop = dropTail
+	a.Send(99, ip.Addr{}, ip.MustAddr("10.0.0.2"), make([]byte, 1000), 0, 0)
+	s.RunFor(2 * time.Minute) // first expiry fires, PendingCount()==0
+	if b.reass.PendingCount() != 0 {
+		t.Fatal("first reassembly did not expire")
+	}
+	// Occupy the recycled event object with an unrelated live timer.
+	ev := s.After(time.Hour, func() {})
+	defer s.Cancel(ev)
+	// A second incomplete datagram must still get an expiry tick.
+	a.Send(99, ip.Addr{}, ip.MustAddr("10.0.0.2"), make([]byte, 1000), 0, 0)
+	s.RunFor(time.Second)
+	if b.reass.PendingCount() != 1 {
+		t.Fatalf("pending = %d, want 1", b.reass.PendingCount())
+	}
+	s.RunFor(2 * time.Minute)
+	if b.reass.PendingCount() != 0 {
+		t.Fatal("second incomplete datagram never expired: expiry tick was not rescheduled")
+	}
+}
+
 func TestNoRouteError(t *testing.T) {
 	_, a, _, _, _ := pairUp(t, 1500)
 	if err := a.Send(99, ip.Addr{}, ip.MustAddr("192.168.9.9"), nil, 0, 0); err == nil {

@@ -9,11 +9,12 @@
 // a command byte whose low nibble is the command and high nibble the TNC
 // port; command 0 carries link data, commands 1-6 set TNC parameters.
 //
-// The Decoder is deliberately a streaming, byte-at-a-time state machine:
-// the paper's most delicate kernel routine is the tty interrupt handler
-// that "buffer[s] characters ... decod[ing] escaped frame end characters
-// on the fly", and the driver in internal/core feeds this decoder one
-// byte per simulated interrupt exactly the same way.
+// The Decoder is a streaming state machine: the paper's most delicate
+// kernel routine is the tty interrupt handler that "buffer[s]
+// characters ... decod[ing] escaped frame end characters on the fly".
+// PutByte is that per-character path; Write is the burst-mode
+// equivalent the driver in internal/core now uses, consuming a whole
+// serial run per call with identical decoding semantics.
 package kiss
 
 import (
@@ -183,11 +184,50 @@ func (d *Decoder) PutByte(b byte) {
 
 // Write feeds a burst of bytes; it never fails. Implements io.Writer so
 // a Decoder can terminate any byte pipeline.
+//
+// Write is the burst-mode fast path: runs of in-frame bytes that need
+// no unescaping are appended to the frame buffer in one copy instead of
+// one PutByte call each. Decoding is byte-for-byte identical to feeding
+// the same stream through PutByte (the fuzz test cross-checks the two
+// for arbitrary chunkings, including FESC split across chunks).
 func (d *Decoder) Write(p []byte) (int, error) {
-	for _, b := range p {
-		d.PutByte(b)
+	n := len(p)
+	for len(p) > 0 {
+		// Escape pending, between frames, or at a framing byte: let the
+		// state machine handle one byte, then rescan.
+		if d.escaped || !d.inFrame || p[0] == FEND || p[0] == FESC {
+			d.PutByte(p[0])
+			p = p[1:]
+			continue
+		}
+		// In-frame literal run: everything up to the next FEND or FESC.
+		i := 1
+		for i < len(p) && p[i] != FEND && p[i] != FESC {
+			i++
+		}
+		d.putRun(p[:i])
+		p = p[i:]
 	}
-	return len(p), nil
+	return n, nil
+}
+
+// putRun appends a run of in-frame bytes containing no framing bytes,
+// with PutByte's exact overrun semantics: bytes fit while the buffer is
+// below the limit; the first byte past it drops the frame and counts
+// one overrun.
+func (d *Decoder) putRun(run []byte) {
+	if d.dropped {
+		return
+	}
+	if avail := d.max() - len(d.buf); len(run) > avail {
+		if avail > 0 {
+			d.buf = append(d.buf, run[:avail]...)
+		}
+		d.dropped = true
+		d.Overruns++
+		return
+	}
+	d.buf = append(d.buf, run...)
 }
 
 func (d *Decoder) endFrame() {

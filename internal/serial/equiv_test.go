@@ -1,0 +1,130 @@
+package serial
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"packetradio/internal/kiss"
+	"packetradio/internal/sim"
+)
+
+// The burst-equivalence regression: identical seeded traffic pushed
+// through the seed per-byte event chain and through the burst path must
+// produce identical KISS frame sequences, frame-completion timestamps,
+// corruption counts, byte counters, drain edges and sampled backlogs.
+
+// equivTrace is everything observable about one run of the scenario.
+type equivTrace struct {
+	frames     [][]byte
+	frameAt    []sim.Time
+	drainAt    []sim.Time
+	samples    []int
+	sent, rcvd uint64
+	corrupted  uint64
+	events     uint64
+}
+
+func runEquivScenario(t *testing.T, seed int64, corruptRate float64, perByte bool) equivTrace {
+	t.Helper()
+	s := sim.NewScheduler(seed)
+	a, b := NewLine(s, 1200)
+	a.Line().PerByte = perByte
+	a.Line().CorruptRate = corruptRate
+
+	var tr equivTrace
+	dec := kiss.Decoder{Frame: func(f kiss.Frame) {
+		tr.frames = append(tr.frames, append([]byte{f.Port<<4 | f.Command}, f.Payload...))
+		tr.frameAt = append(tr.frameAt, s.Now())
+	}}
+	// The receiving end decodes per byte in legacy mode and per run in
+	// burst mode — the same pairing the driver uses in each mode.
+	if perByte {
+		b.SetReceiver(dec.PutByte)
+	} else {
+		b.SetRunReceiver(func(p []byte) { dec.Write(p) })
+	}
+	a.OnDrain = func() { tr.drainAt = append(tr.drainAt, s.Now()) }
+
+	// Deterministic traffic: frames of varied sizes (with bytes that
+	// need KISS escaping) written at irregular instants, some while the
+	// line is still draining.
+	rng := rand.New(rand.NewSource(seed + 1000))
+	at := time.Duration(0)
+	for i := 0; i < 40; i++ {
+		n := 1 + rng.Intn(120)
+		payload := make([]byte, n)
+		for j := range payload {
+			payload[j] = byte(rng.Intn(256)) // includes FEND/FESC
+		}
+		frame := kiss.Encode(nil, 0, payload)
+		at += time.Duration(rng.Intn(900)) * time.Millisecond
+		s.At(sim.Time(at), func() { a.Write(frame) })
+	}
+	// Backlog samples at instants unrelated to byte boundaries.
+	for ms := 37; ms < 45000; ms += 613 {
+		s.At(sim.Time(time.Duration(ms)*time.Millisecond), func() {
+			tr.samples = append(tr.samples, a.QueueLen())
+		})
+	}
+	s.Run()
+	tr.sent, tr.rcvd, tr.corrupted = a.BytesSent, b.BytesReceived, b.Corrupted
+	tr.events = s.Fired()
+	return tr
+}
+
+func diffTraces(t *testing.T, label string, old, burst equivTrace) {
+	t.Helper()
+	if len(old.frames) != len(burst.frames) {
+		t.Fatalf("%s: %d frames per-byte vs %d burst", label, len(old.frames), len(burst.frames))
+	}
+	for i := range old.frames {
+		if !bytes.Equal(old.frames[i], burst.frames[i]) {
+			t.Fatalf("%s: frame %d differs:\n per-byte %x\n burst    %x", label, i, old.frames[i], burst.frames[i])
+		}
+		if old.frameAt[i] != burst.frameAt[i] {
+			t.Fatalf("%s: frame %d completed at %v per-byte vs %v burst", label, i, old.frameAt[i], burst.frameAt[i])
+		}
+	}
+	if fmt.Sprint(old.drainAt) != fmt.Sprint(burst.drainAt) {
+		t.Fatalf("%s: drain edges differ:\n per-byte %v\n burst    %v", label, old.drainAt, burst.drainAt)
+	}
+	if fmt.Sprint(old.samples) != fmt.Sprint(burst.samples) {
+		t.Fatalf("%s: QueueLen samples differ:\n per-byte %v\n burst    %v", label, old.samples, burst.samples)
+	}
+	if old.sent != burst.sent || old.rcvd != burst.rcvd {
+		t.Fatalf("%s: byte counters differ: sent %d/%d rcvd %d/%d", label, old.sent, burst.sent, old.rcvd, burst.rcvd)
+	}
+	if old.corrupted != burst.corrupted {
+		t.Fatalf("%s: corruption counts differ: %d per-byte vs %d burst", label, old.corrupted, burst.corrupted)
+	}
+}
+
+func TestBurstEquivalenceCleanLine(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		old := runEquivScenario(t, seed, 0, true)
+		burst := runEquivScenario(t, seed, 0, false)
+		diffTraces(t, fmt.Sprintf("seed %d", seed), old, burst)
+		if old.events <= burst.events {
+			t.Fatalf("seed %d: burst fired %d events vs %d per-byte — coalescing is not engaged",
+				seed, burst.events, old.events)
+		}
+	}
+}
+
+func TestBurstEquivalenceCorruptedLine(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		old := runEquivScenario(t, seed, 0.002, true)
+		burst := runEquivScenario(t, seed, 0.002, false)
+		diffTraces(t, fmt.Sprintf("seed %d", seed), old, burst)
+	}
+	// And at a rate high enough that corruption certainly happened.
+	old := runEquivScenario(t, 42, 0.05, true)
+	burst := runEquivScenario(t, 42, 0.05, false)
+	if old.corrupted == 0 {
+		t.Fatal("corruption rate 0.05 produced no corrupted bytes")
+	}
+	diffTraces(t, "seed 42 heavy", old, burst)
+}

@@ -37,6 +37,17 @@ func (t Time) String() string { return fmt.Sprintf("T+%v", time.Duration(t)) }
 // Event is a scheduled callback. Events are single-shot; rescheduling
 // creates a new Event. The zero value is not usable; events are created
 // by Scheduler.At and Scheduler.After.
+//
+// Event objects are pooled: once an event has fired or been cancelled,
+// the scheduler may hand the same *Event out again from a later At or
+// After. Holders must therefore follow the one-shot timer discipline —
+// clear or overwrite a stored event pointer inside its own callback (or
+// right after Cancel), and never Cancel or query Cancelled through a
+// pointer whose event may already have fired: a recycled event is live
+// again, so a stale handle aliases someone else's timer. During an
+// event's own callback the pointer is still valid (recycling happens
+// after the callback returns), so cancelling or inspecting the firing
+// event from inside it is safe.
 type Event struct {
 	when  Time
 	seq   uint64 // tiebreak so equal-time events run in schedule order
@@ -92,12 +103,38 @@ type Scheduler struct {
 	rng    *rand.Rand
 	fired  uint64
 	halted bool
+
+	// free is the pool of fired/cancelled events awaiting reuse, which
+	// keeps the hot After+Step path allocation-free (the per-byte→burst
+	// datapath schedules millions of short-lived events per run).
+	free []*Event
+
+	seed    int64
+	derived uint64
 }
 
 // NewScheduler returns a Scheduler with its clock at time zero and a
 // random source seeded with seed.
 func NewScheduler(seed int64) *Scheduler {
-	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+	return &Scheduler{rng: rand.New(rand.NewSource(seed)), seed: seed}
+}
+
+// DeriveSeed returns a fresh deterministic seed for a component that
+// wants its own private random stream (the serial corruption model,
+// for one). Successive calls return distinct values in a sequence
+// fixed by the scheduler's seed, without consuming anything from the
+// shared Rand stream — so adding a derived-seed user never perturbs
+// existing seeded scenarios.
+func (s *Scheduler) DeriveSeed() int64 {
+	s.derived++
+	// splitmix64 over (seed, call index).
+	x := uint64(s.seed) + 0x9e3779b97f4a7c15*s.derived
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x)
 }
 
 // Now reports the current virtual time.
@@ -126,7 +163,15 @@ func (s *Scheduler) At(t Time, fn func()) *Event {
 		t = s.now
 	}
 	s.seq++
-	e := &Event{when: t, seq: s.seq, fn: fn, index: -1}
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		e = new(Event)
+	}
+	*e = Event{when: t, seq: s.seq, fn: fn, index: -1}
 	heap.Push(&s.queue, e)
 	return e
 }
@@ -154,6 +199,8 @@ func (s *Scheduler) Cancel(e *Event) bool {
 	heap.Remove(&s.queue, e.index)
 	e.index = -1
 	e.fn = nil
+	e.name = ""
+	s.free = append(s.free, e)
 	return true
 }
 
@@ -169,6 +216,10 @@ func (s *Scheduler) Step() bool {
 	fn := e.fn
 	e.fn = nil
 	fn()
+	// Recycle only after the callback returns, so code running inside
+	// the callback may still Cancel or inspect the firing event safely.
+	e.name = ""
+	s.free = append(s.free, e)
 	return true
 }
 

@@ -269,6 +269,75 @@ func TestTimeHelpers(t *testing.T) {
 	}
 }
 
+func TestAfterStepDoesNotAllocate(t *testing.T) {
+	s := NewScheduler(1)
+	// Prime the pool and the heap slice.
+	s.After(time.Microsecond, func() {})
+	s.Step()
+	avg := testing.AllocsPerRun(1000, func() {
+		s.After(time.Microsecond, func() {})
+		s.Step()
+	})
+	if avg != 0 {
+		t.Fatalf("After+Step allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+func TestEventPoolReusesFiredEvents(t *testing.T) {
+	s := NewScheduler(1)
+	e1 := s.After(time.Millisecond, func() {})
+	s.Step()
+	e2 := s.After(time.Millisecond, func() {})
+	if e1 != e2 {
+		t.Fatal("fired event was not recycled by the next After")
+	}
+	// A recycled event is live again: Cancel through the new pointer works.
+	if !s.Cancel(e2) {
+		t.Fatal("Cancel on recycled event failed")
+	}
+}
+
+func TestCancelledEventIsRecycled(t *testing.T) {
+	s := NewScheduler(1)
+	e1 := s.After(time.Millisecond, func() {})
+	s.Cancel(e1)
+	fired := false
+	e2 := s.After(time.Millisecond, func() { fired = true })
+	if e1 != e2 {
+		t.Fatal("cancelled event was not recycled")
+	}
+	s.Run()
+	if !fired {
+		t.Fatal("recycled event did not fire")
+	}
+}
+
+// The one-shot discipline: cancelling the firing event from inside its
+// own callback must be a safe no-op (recycling happens only after the
+// callback returns).
+func TestCancelSelfInsideCallbackIsSafe(t *testing.T) {
+	s := NewScheduler(1)
+	var e *Event
+	ran := false
+	e = s.After(time.Millisecond, func() {
+		ran = true
+		if s.Cancel(e) {
+			t.Error("Cancel of the firing event reported true")
+		}
+	})
+	s.Run()
+	if !ran {
+		t.Fatal("event did not run")
+	}
+	// The event must not have been double-recycled: the next two After
+	// calls must return distinct events.
+	a := s.After(time.Millisecond, func() {})
+	b := s.After(time.Millisecond, func() {})
+	if a == b {
+		t.Fatal("double recycle: two live events share one object")
+	}
+}
+
 func TestAtNilFuncPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

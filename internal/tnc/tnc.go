@@ -92,7 +92,9 @@ func New(sched *sim.Scheduler, host *serial.End, rf *radio.Transceiver, mycall a
 	}
 	t.hostQ = netif.NewQueue[[]byte](t.HostQueueFrames)
 	t.dec.Frame = t.fromHost
-	host.SetReceiver(t.dec.PutByte)
+	// Burst receive: the KISS decoder consumes whole serial runs (one
+	// frame's worth of bytes per event) instead of a callback per byte.
+	host.SetRunReceiver(func(p []byte) { t.dec.Write(p) })
 	host.OnDrain = t.pumpHost
 	rf.SetReceiver(t.fromRadio)
 	t.applyParams()

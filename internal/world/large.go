@@ -1,0 +1,190 @@
+// Large-world generation: the parameterized N-station, M-channel
+// topology behind the ROADMAP's "scale the simulator itself" item.
+// Where NewSeattle reproduces the paper's one-channel deployment,
+// NewLarge builds the regional network the authors were growing
+// toward: several 1200 bps channels, each behind its own MicroVAX
+// gateway on a shared department Ethernet, with an Internet host that
+// every radio station can reach through its gateway. E14 uses it to
+// measure simulated-seconds-per-wall-second as N scales; every future
+// scale scenario starts here.
+package world
+
+import (
+	"fmt"
+	"time"
+
+	"packetradio/internal/ether"
+	"packetradio/internal/ip"
+	"packetradio/internal/radio"
+	"packetradio/internal/tnc"
+)
+
+// LargeConfig parameterizes NewLarge.
+type LargeConfig struct {
+	Seed     int64
+	Stations int // total radio stations (default 10)
+
+	// Channels is the number of radio channels; stations are spread
+	// round-robin across them, each channel behind its own gateway.
+	// Default: one channel per 25 stations (the practical ceiling for
+	// shared 1200 bps CSMA), minimum one.
+	Channels int
+
+	BitRate int // per-channel signalling rate (default 1200)
+	Baud    int // RS-232 speed per station (default 9600)
+
+	// Promiscuous runs every TNC in promiscuous mode — the §3
+	// pathology E2 measures. Off by default: scale worlds use the
+	// paper's proposed address filter, or every station's serial line
+	// carries every frame on its channel.
+	Promiscuous bool
+
+	// PingInterval, when nonzero, starts background traffic: each
+	// station pings the Internet host on this period, with start times
+	// spread across the interval so the channels do not synchronize.
+	PingInterval time.Duration
+}
+
+func (cfg LargeConfig) withDefaults() LargeConfig {
+	if cfg.Stations <= 0 {
+		cfg.Stations = 10
+	}
+	if cfg.Channels <= 0 {
+		cfg.Channels = (cfg.Stations + 24) / 25
+	}
+	if cfg.Channels > 200 {
+		cfg.Channels = 200
+	}
+	return cfg
+}
+
+// Large is the generated world.
+type Large struct {
+	W   *World
+	Cfg LargeConfig
+
+	Ether    *ether.Segment
+	Internet *Host // 128.95.1.2, the host every station's traffic crosses to
+	Gateways []*Host
+	Channels []*radio.Channel
+	Stations []*Host
+
+	// Replies counts ping replies received per station when
+	// PingInterval traffic is running; Sent counts requests.
+	Sent, Replies uint64
+}
+
+// LargeInternetIP is the Ethernet host of the generated world.
+var LargeInternetIP = ip.MustAddr("128.95.1.2")
+
+// LargeGatewayRadioIP returns the radio-side address of channel c's
+// gateway: 44.(c+1).0.1, one class-B AMPRnet subnet per channel.
+func LargeGatewayRadioIP(c int) ip.Addr { return ip.AddrFrom(44, byte(c+1), 0, 1) }
+
+// LargeGatewayEtherIP returns the Ethernet-side address of channel c's
+// gateway.
+func LargeGatewayEtherIP(c int) ip.Addr { return ip.AddrFrom(128, 95, 2, byte(c+1)) }
+
+// LargeStationIP returns the address of station i under cfg's channel
+// assignment (round-robin): station i sits on channel i%M.
+func (cfg LargeConfig) LargeStationIP(i int) ip.Addr {
+	cfg = cfg.withDefaults()
+	c := i % cfg.Channels
+	k := i / cfg.Channels // index within the channel
+	return ip.AddrFrom(44, byte(c+1), byte(k/200), byte(10+k%200))
+}
+
+// NewLarge generates the world.
+func NewLarge(cfg LargeConfig) *Large {
+	cfg = cfg.withDefaults()
+	w := New(cfg.Seed)
+	lw := &Large{W: w, Cfg: cfg}
+	lw.Ether = w.Ethernet("uw-cs")
+	filter := tnc.AddressFilter
+	if cfg.Promiscuous {
+		filter = tnc.Promiscuous
+	}
+
+	// One gateway per channel, all on the shared Ethernet.
+	for c := 0; c < cfg.Channels; c++ {
+		ch := w.Channel(fmt.Sprintf("145.%02d", c+1), cfg.BitRate)
+		lw.Channels = append(lw.Channels, ch)
+		gw := w.Host(fmt.Sprintf("gw%d", c+1))
+		gw.AttachEther(lw.Ether, "qe0", LargeGatewayEtherIP(c), ip.MaskClassB)
+		gw.AttachRadio(ch, "pr0", fmt.Sprintf("GW%d", c+1), LargeGatewayRadioIP(c), ip.MaskClassB,
+			RadioConfig{Baud: cfg.Baud, Filter: filter})
+		gw.MakeGateway("pr0", "qe0", false)
+		lw.Gateways = append(lw.Gateways, gw)
+	}
+	// Gateways reach the other channels' subnets across the Ethernet.
+	for c, gw := range lw.Gateways {
+		for c2 := range lw.Gateways {
+			if c2 != c {
+				gw.Stack.Routes.AddNet(ip.AddrFrom(44, byte(c2+1), 0, 0), ip.MaskClassB,
+					LargeGatewayEtherIP(c2), "qe0")
+			}
+		}
+	}
+
+	// The Internet host, with one route per regional subnet — the
+	// per-region routing E4 shows the 1988 Internet could not do.
+	inet := w.Host("inet")
+	inet.AttachEther(lw.Ether, "qe0", LargeInternetIP, ip.MaskClassB)
+	for c := range lw.Gateways {
+		inet.Stack.Routes.AddNet(ip.AddrFrom(44, byte(c+1), 0, 0), ip.MaskClassB,
+			LargeGatewayEtherIP(c), "qe0")
+	}
+	lw.Internet = inet
+
+	// Stations, round-robin across channels, defaulting to their
+	// channel's gateway.
+	for i := 0; i < cfg.Stations; i++ {
+		c := i % cfg.Channels
+		st := w.Host(fmt.Sprintf("st%d", i))
+		st.AttachRadio(lw.Channels[c], "pr0", fmt.Sprintf("S%d", i), cfg.LargeStationIP(i), ip.MaskClassB,
+			RadioConfig{Baud: cfg.Baud, Filter: filter})
+		st.Stack.Routes.AddDefault(LargeGatewayRadioIP(c), "pr0")
+		lw.Stations = append(lw.Stations, st)
+	}
+
+	if cfg.PingInterval > 0 {
+		lw.startTraffic()
+	}
+	return lw
+}
+
+// startTraffic arms the background ping load: each station pings the
+// Internet host every PingInterval, phase-shifted so the load is
+// spread evenly. Each station keeps one persistent echo context
+// (PingOpen + PingSeq follow-ups) rather than a one-shot Ping per
+// probe: scale worlds lose plenty of probes to CSMA, and one-shot
+// contexts whose replies never arrive would leak ids without bound,
+// while a persistent context's per-seq state self-bounds at the
+// 16-bit sequence space.
+func (lw *Large) startTraffic() {
+	n := len(lw.Stations)
+	for i, st := range lw.Stations {
+		st := st
+		phase := time.Duration(int64(lw.Cfg.PingInterval) * int64(i) / int64(n))
+		lw.W.Sched.After(phase, func() {
+			lw.Sent++
+			id, _ := st.Stack.PingOpen(LargeInternetIP, 32, func(uint16, time.Duration, ip.Addr) {
+				lw.Replies++
+			})
+			seq := uint16(0)
+			lw.W.Sched.Every(lw.Cfg.PingInterval, func() {
+				seq++
+				lw.Sent++
+				st.Stack.PingSeq(LargeInternetIP, id, seq, 32)
+			})
+		})
+	}
+}
+
+// DeliveryRatio reports replies/sent for the background traffic.
+func (lw *Large) DeliveryRatio() float64 {
+	if lw.Sent == 0 {
+		return 0
+	}
+	return float64(lw.Replies) / float64(lw.Sent)
+}

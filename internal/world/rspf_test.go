@@ -28,13 +28,14 @@ func pingOK(w *World, from *Host, dst ip.Addr, deadline time.Duration) bool {
 	ok := false
 	armed := true
 	defer func() { armed = false }()
-	id, _ := from.Stack.Ping(dst, 56, func(_ uint16, _ time.Duration, _ ip.Addr) {
+	id, _ := from.Stack.PingOpen(dst, 56, func(_ uint16, _ time.Duration, _ ip.Addr) {
 		if !armed {
 			return
 		}
 		ok = true
 		w.Sched.Halt()
 	})
+	defer from.Stack.ClosePing(id)
 	seq := uint16(0)
 	tick := w.Sched.Every(20*time.Second, func() {
 		seq++

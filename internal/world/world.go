@@ -147,6 +147,11 @@ type RadioConfig struct {
 	TXDelay  time.Duration // 0 = KISS default (300 ms)
 	Persist  float64       // 0 = KISS default (0.25)
 	SlotTime time.Duration // 0 = KISS default (100 ms)
+
+	// PerByteSerial reverts the RS-232 line to the seed's
+	// one-event-per-byte delivery, for burst-equivalence regression
+	// tests.
+	PerByteSerial bool
 }
 
 // AttachRadio builds the full Figure 1 chain on channel ch: a KISS TNC
@@ -155,6 +160,9 @@ type RadioConfig struct {
 func (h *Host) AttachRadio(ch *radio.Channel, ifName string, call string, addr ip.Addr, mask ip.Mask, cfg RadioConfig) *RadioPort {
 	mycall := ax25.MustAddr(call)
 	hostEnd, tncEnd := serial.NewLine(h.world.Sched, cfg.Baud)
+	if cfg.PerByteSerial {
+		hostEnd.Line().PerByte = true
+	}
 	rf := ch.Attach(call, radio.Params{
 		TXDelay:  cfg.TXDelay,
 		SlotTime: cfg.SlotTime,
@@ -340,6 +348,10 @@ type SeattleConfig struct {
 	// destinations only once a routing daemon installs routes — the
 	// starting state for the RSPF experiments.
 	NoStaticRoutes bool
+
+	// PerByteSerial runs every RS-232 line through the seed's
+	// one-event-per-byte chain (burst-equivalence regression tests).
+	PerByteSerial bool
 }
 
 // GatewayIP is the paper's actual gateway address: "the packet radio
@@ -379,7 +391,7 @@ func NewSeattle(cfg SeattleConfig) *Seattle {
 	gw := w.Host("uw-gw")
 	gw.AttachEther(s.Ether, "qe0", GatewayEtherIP, ip.MaskClassB)
 	gw.AttachRadio(s.Channel, "pr0", "N7AKR", GatewayIP, ip.MaskClassA,
-		RadioConfig{Baud: cfg.Baud, Filter: cfg.TNCFilter})
+		RadioConfig{Baud: cfg.Baud, Filter: cfg.TNCFilter, PerByteSerial: cfg.PerByteSerial})
 	s.GatewayGW = gw.MakeGateway("pr0", "qe0", cfg.WithACL)
 	s.Gateway = gw
 
@@ -387,7 +399,7 @@ func NewSeattle(cfg SeattleConfig) *Seattle {
 		gw2 := w.Host("uw-gw2")
 		gw2.AttachEther(s.Ether, "qe0", Gateway2EtherIP, ip.MaskClassB)
 		gw2.AttachRadio(s.Channel, "pr0", "N7BKR", Gateway2IP, ip.MaskClassA,
-			RadioConfig{Baud: cfg.Baud, Filter: cfg.TNCFilter})
+			RadioConfig{Baud: cfg.Baud, Filter: cfg.TNCFilter, PerByteSerial: cfg.PerByteSerial})
 		s.Gateway2GW = gw2.MakeGateway("pr0", "qe0", cfg.WithACL)
 		s.Gateway2 = gw2
 	}
@@ -407,7 +419,7 @@ func NewSeattle(cfg SeattleConfig) *Seattle {
 	for i := 0; i < cfg.NumPCs; i++ {
 		pc := w.Host(fmt.Sprintf("pc%d", i+1))
 		pc.AttachRadio(s.Channel, "pr0", PCCall(i), PCIP(i), ip.MaskClassA,
-			RadioConfig{Baud: cfg.Baud})
+			RadioConfig{Baud: cfg.Baud, PerByteSerial: cfg.PerByteSerial})
 		// Everything off net 44 goes via the gateway's radio address.
 		if !cfg.NoStaticRoutes {
 			pc.Stack.Routes.AddDefault(GatewayIP, "pr0")

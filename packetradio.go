@@ -88,6 +88,10 @@ type (
 	Seattle = world.Seattle
 	// SeattleConfig tunes the canned scenario.
 	SeattleConfig = world.SeattleConfig
+	// Large is a generated N-station, M-channel scale world.
+	Large = world.Large
+	// LargeConfig parameterizes NewLarge.
+	LargeConfig = world.LargeConfig
 )
 
 // NewWorld creates an empty world.
@@ -96,6 +100,11 @@ func NewWorld(seed int64) *World { return world.New(seed) }
 // NewSeattle builds the paper's §2.3 deployment: gateway MicroVAX,
 // department Ethernet, and PCs on the 1200 bps radio channel.
 func NewSeattle(cfg SeattleConfig) *Seattle { return world.NewSeattle(cfg) }
+
+// NewLarge generates an N-station scale world: stations round-robin
+// across M radio channels, one gateway per channel on a shared
+// Ethernet (E14's topology).
+func NewLarge(cfg LargeConfig) *Large { return world.NewLarge(cfg) }
 
 // The scenario's well-known addresses.
 var (

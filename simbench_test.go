@@ -1,0 +1,111 @@
+// Simulator-core benchmarks: the wall-clock cost of stepping the
+// Figure-1 chain, before and after the burst-mode datapath refactor.
+// TestWriteSimCoreBench regenerates BENCH_simcore.json so the repo
+// carries the perf trajectory of the simulator itself alongside the
+// socket-layer numbers in BENCH_sockets.json. Event counts are
+// deterministic (virtual clock, fixed seeds); ns/op values are wall
+// time on whatever machine last regenerated the file.
+package packetradio
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"testing"
+	"time"
+
+	"packetradio/internal/experiments"
+	"packetradio/internal/ip"
+	"packetradio/internal/sim"
+	"packetradio/internal/world"
+)
+
+// preBurstSeattlePingNs is BenchmarkSeattlePing at the commit before
+// the burst-mode datapath landed (per-byte serial events, allocating
+// scheduler), measured on the same class of machine that produced the
+// current numbers below. The acceptance bar for the refactor was 3x;
+// see "seattle_ping_speedup" in BENCH_simcore.json for the measured
+// value.
+const preBurstSeattlePingNs = 86598.0
+
+// seattlePing measures one warm ping through the full chain, returning
+// wall ns/op and scheduler events/op over iters iterations.
+func seattlePing(perByte bool, iters int) (nsPerOp float64, eventsPerOp float64) {
+	s := world.NewSeattle(world.SeattleConfig{Seed: 1, NumPCs: 1, PerByteSerial: perByte})
+	done := false
+	s.PCs[0].Stack.Ping(world.GatewayIP, 8, func(uint16, time.Duration, ip.Addr) { done = true })
+	s.W.Run(5 * time.Minute)
+	if !done {
+		panic("warmup ping failed")
+	}
+	firedBefore := s.W.Sched.Fired()
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		ok := false
+		s.PCs[0].Stack.Ping(world.GatewayIP, 64, func(uint16, time.Duration, ip.Addr) { ok = true })
+		s.W.Run(time.Minute)
+		if !ok {
+			panic("ping lost")
+		}
+	}
+	wall := time.Since(start)
+	return float64(wall.Nanoseconds()) / float64(iters),
+		float64(s.W.Sched.Fired()-firedBefore) / float64(iters)
+}
+
+func schedulerAllocsPerOp() float64 {
+	s := sim.NewScheduler(1)
+	s.After(time.Microsecond, func() {})
+	s.Step()
+	return testing.AllocsPerRun(1000, func() {
+		s.After(time.Microsecond, func() {})
+		s.Step()
+	})
+}
+
+// TestWriteSimCoreBench regenerates BENCH_simcore.json and asserts the
+// deterministic half of the burst-mode claim: the coalesced datapath
+// fires at least 5x fewer scheduler events per ping than the per-byte
+// chain, and the hot scheduler loop does not allocate.
+func TestWriteSimCoreBench(t *testing.T) {
+	const iters = 20000
+	burstNs, burstEvents := seattlePing(false, iters)
+	_, perByteEvents := seattlePing(true, iters/10)
+
+	if burstEvents*5 > perByteEvents {
+		t.Fatalf("burst path fires %.0f events/ping vs %.0f per-byte — coalescing regressed",
+			burstEvents, perByteEvents)
+	}
+	allocs := schedulerAllocsPerOp()
+	if allocs != 0 {
+		t.Fatalf("scheduler After+Step allocates %.2f objects/op, want 0", allocs)
+	}
+
+	e14 := experiments.E14(io.Discard)
+	scaling := map[string]any{}
+	for _, n := range []string{"n10", "n50", "n100", "n200"} {
+		scaling[n] = map[string]float64{
+			"sim_s_per_wall_s": e14.Get("sim_s_per_wall_s_" + n),
+			"events_per_sim_s": e14.Get("events_per_sim_s_" + n),
+			"delivery_ratio":   e14.Get("delivery_" + n),
+		}
+	}
+
+	report := map[string]any{
+		"description":                              "simulator-core benchmarks: ns values are wall time on the machine that last regenerated this file; events/op values are deterministic",
+		"seattle_ping_ns_per_op_pre_burst":         preBurstSeattlePingNs,
+		"seattle_ping_ns_per_op":                   burstNs,
+		"seattle_ping_speedup":                     preBurstSeattlePingNs / burstNs,
+		"seattle_ping_events_per_op":               burstEvents,
+		"seattle_ping_events_per_op_per_byte_path": perByteEvents,
+		"scheduler_allocs_per_op":                  allocs,
+		"e14_scaling":                              scaling,
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_simcore.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
