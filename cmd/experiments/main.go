@@ -41,6 +41,7 @@ var index = []struct {
 	{"E12", "RSPF control-plane overhead on the 1200 bps channel", experiments.E12},
 	{"E13", "delivery ratio under link churn: static vs RSPF", experiments.E13},
 	{"E14", "simulator scaling: N-station worlds per wall second", experiments.E14},
+	{"E15", "event-driven CSMA: events per simulated second, before/after", experiments.E15},
 }
 
 func main() {

@@ -1,0 +1,55 @@
+// The CI event-count regression gate. Scheduler event counts are pure
+// functions of the seed and the code — the virtual clock makes them
+// bit-deterministic across machines — so unlike the ns/op numbers in
+// BENCH_simcore.json they can be held to exact equality. Any change
+// that fires one extra event per ping or per CSMA slot shows up here
+// as a hard CI failure, with the committed JSON as the baseline;
+// regenerate it with TestWriteSimCoreBench when the change is
+// intentional and explain the delta in the PR.
+package packetradio
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"packetradio/internal/experiments"
+)
+
+func TestEventGate(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_simcore.json")
+	if err != nil {
+		t.Fatalf("no committed baseline: %v", err)
+	}
+	var committed struct {
+		SeattlePingEventsPerOp float64 `json:"seattle_ping_events_per_op"`
+		E14Scaling             map[string]struct {
+			EventsPerSimS float64 `json:"events_per_sim_s"`
+			DeliveryRatio float64 `json:"delivery_ratio"`
+		} `json:"e14_scaling"`
+	}
+	if err := json.Unmarshal(raw, &committed); err != nil {
+		t.Fatal(err)
+	}
+
+	_, events := seattlePing(false, seattlePingIters)
+	if events != committed.SeattlePingEventsPerOp {
+		t.Errorf("seattle_ping_events_per_op = %v, committed %v — the datapath's event count changed; "+
+			"regenerate BENCH_simcore.json if intentional", events, committed.SeattlePingEventsPerOp)
+	}
+
+	for _, n := range []int{10, 200} {
+		key := map[int]string{10: "n10", 200: "n200"}[n]
+		want, ok := committed.E14Scaling[key]
+		if !ok {
+			t.Fatalf("baseline has no e14_scaling.%s", key)
+		}
+		pt := experiments.ScaleRun(n, false)
+		if pt.EventsPerSimS != want.EventsPerSimS {
+			t.Errorf("E14 %s events_per_sim_s = %v, committed %v", key, pt.EventsPerSimS, want.EventsPerSimS)
+		}
+		if pt.Delivery != want.DeliveryRatio {
+			t.Errorf("E14 %s delivery_ratio = %v, committed %v", key, pt.Delivery, want.DeliveryRatio)
+		}
+	}
+}

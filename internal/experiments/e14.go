@@ -3,50 +3,33 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"time"
-
-	"packetradio/internal/world"
 )
 
 // E14 measures the simulator's own scaling — the payoff of the
-// burst-mode datapath that replaced the per-byte serial event chain.
-// For N stations (spread over N/25 channels, each behind its own
-// gateway, every station pinging the Internet host once a minute) it
-// reports simulated-seconds-per-wall-second, events per simulated
+// burst-mode datapath that replaced the per-byte serial event chain,
+// and of the carrier-edge CSMA that replaced per-slot contention
+// polling. For N stations (spread over N/25 channels, each behind its
+// own gateway, every station pinging the Internet host once a minute)
+// it reports simulated-seconds-per-wall-second, events per simulated
 // second, and the traffic delivery ratio. Unlike E1–E13 this
 // experiment reads the wall clock: the sim rate is a property of the
 // machine it runs on, so only its shape (200 stations complete, rate
-// stays usable) is asserted, never exact values.
+// stays usable) is asserted, never exact values — but the event counts
+// are deterministic, and the CI event gate pins them to
+// BENCH_simcore.json. E15 isolates the CSMA before/after.
 func E14(w io.Writer) *Result {
 	r := newResult("E14", "simulator scaling: N-station worlds per wall second")
 	t := newTable(w, "E14", "background ping load, 60 s interval, 3 simulated minutes timed per N")
 	t.row("stations", "channels", "sim-s/wall-s", "events/sim-s", "delivered")
 
 	for _, n := range []int{10, 50, 100, 200} {
-		lw := world.NewLarge(world.LargeConfig{
-			Seed:         1,
-			Stations:     n,
-			PingInterval: time.Minute,
-		})
-		// Warm up ARP caches and the first ping wave untimed.
-		lw.W.Run(30 * time.Second)
-		firedBefore := lw.W.Sched.Fired()
-		const simWindow = 3 * time.Minute
-		wallStart := time.Now()
-		lw.W.Run(simWindow)
-		wall := time.Since(wallStart)
-		if wall <= 0 {
-			wall = time.Nanosecond
-		}
-		fired := lw.W.Sched.Fired() - firedBefore
-		rate := simWindow.Seconds() / wall.Seconds()
-		evPerSimSec := float64(fired) / simWindow.Seconds()
-		t.row(n, len(lw.Channels), fmt.Sprintf("%.0f", rate),
-			fmt.Sprintf("%.0f", evPerSimSec), fmt.Sprintf("%.0f%%", lw.DeliveryRatio()*100))
+		pt := ScaleRun(n, false)
+		t.row(n, pt.Channels, fmt.Sprintf("%.0f", pt.SimSPerWallS),
+			fmt.Sprintf("%.0f", pt.EventsPerSimS), fmt.Sprintf("%.0f%%", pt.Delivery*100))
 		key := fmt.Sprintf("_n%d", n)
-		r.set("sim_s_per_wall_s"+key, rate)
-		r.set("events_per_sim_s"+key, evPerSimSec)
-		r.set("delivery"+key, lw.DeliveryRatio())
+		r.set("sim_s_per_wall_s"+key, pt.SimSPerWallS)
+		r.set("events_per_sim_s"+key, pt.EventsPerSimS)
+		r.set("delivery"+key, pt.Delivery)
 	}
 	t.flush()
 	fmt.Fprintln(w, "   (wall-clock dependent: the table shape — not the numbers — is the claim;")

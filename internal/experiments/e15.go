@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"packetradio/internal/world"
+)
+
+// ScalePoint is one deterministic measurement of the simulator
+// stepping an N-station world (the E14/E15 instrument). Everything
+// except SimSPerWallS is a pure function of the seed: event counts,
+// delivery and channel occupancy come off the virtual clock.
+type ScalePoint struct {
+	Stations int
+	Channels int
+
+	SimSPerWallS  float64 // wall-clock dependent: never asserted or gated
+	EventsPerSimS float64 // deterministic: scheduler events per simulated second
+	Delivery      float64 // deterministic: ping replies / requests
+	Deferrals     uint64  // deterministic: CSMA slot deferrals, all stations
+	Utilization   float64 // deterministic: mean channel airtime share over the run
+}
+
+// scaleMemo caches ScaleRun results per (n, mode) within one process:
+// E14, E15, the bench writer and the CI event gate all step the same
+// deterministic worlds, so repeat invocations would only re-derive
+// identical numbers (SimSPerWallS keeps the first run's wall reading —
+// it is machine-relative and never asserted).
+var scaleMemo = map[struct {
+	n       int
+	perSlot bool
+}]ScalePoint{}
+
+// ScaleRun steps the standard scale world — N stations round-robin
+// over N/25 channels, each channel behind its own gateway, every
+// station pinging the Internet host once a minute — for three
+// simulated minutes after a 30 s warm-up, under the given CSMA mode.
+// E14 reports the event-driven numbers, E15 the before/after pair, and
+// the CI event gate recomputes the event-driven counts and holds them
+// to BENCH_simcore.json exactly. Results are memoized per process.
+func ScaleRun(n int, perSlotCSMA bool) ScalePoint {
+	memoKey := struct {
+		n       int
+		perSlot bool
+	}{n, perSlotCSMA}
+	if pt, ok := scaleMemo[memoKey]; ok {
+		return pt
+	}
+	pt := scaleRunFresh(n, perSlotCSMA)
+	scaleMemo[memoKey] = pt
+	return pt
+}
+
+func scaleRunFresh(n int, perSlotCSMA bool) ScalePoint {
+	lw := world.NewLarge(world.LargeConfig{
+		Seed:         1,
+		Stations:     n,
+		PingInterval: time.Minute,
+		PerSlotCSMA:  perSlotCSMA,
+	})
+	// Warm up ARP caches and the first ping wave untimed.
+	lw.W.Run(30 * time.Second)
+	firedBefore := lw.W.Sched.Fired()
+	const simWindow = 3 * time.Minute
+	wallStart := time.Now()
+	lw.W.Run(simWindow)
+	wall := time.Since(wallStart)
+	if wall <= 0 {
+		wall = time.Nanosecond
+	}
+	pt := ScalePoint{
+		Stations:      n,
+		Channels:      len(lw.Channels),
+		SimSPerWallS:  simWindow.Seconds() / wall.Seconds(),
+		EventsPerSimS: float64(lw.W.Sched.Fired()-firedBefore) / simWindow.Seconds(),
+		Delivery:      lw.DeliveryRatio(),
+	}
+	for _, st := range lw.Stations {
+		pt.Deferrals += st.Radio("pr0").RF.CSMADeferrals()
+	}
+	for _, gw := range lw.Gateways {
+		pt.Deferrals += gw.Radio("pr0").RF.CSMADeferrals()
+	}
+	for _, ch := range lw.Channels {
+		pt.Utilization += ch.Utilization()
+	}
+	pt.Utilization /= float64(len(lw.Channels))
+	return pt
+}
+
+// E15 measures the event-driven CSMA refactor and explains the
+// delivery curve it exposes. For each N it steps the identical seeded
+// world twice — once with the seed per-slot contention polling, once
+// with carrier-edge wakeups — and reports the scheduler event rate of
+// both (the refactor's win), the delivery ratio (identical by the
+// draw-equivalence argument of DESIGN.md §3c: the refactor changes
+// the cost of the simulation, not its physics), and the channel
+// occupancy that explains why delivery collapses as N grows: 25
+// stations share one 1200 bps channel, so by N=100 each channel
+// carries more offered ping traffic than its airtime budget, deferral
+// chains stretch, and ICMP exchanges die to collisions and queue
+// drops. The collapse is the network saturating, not the simulator —
+// E10 measures the same ceiling on one channel directly.
+func E15(w io.Writer) *Result {
+	r := newResult("E15", "event-driven CSMA: events per simulated second, before/after")
+	t := newTable(w, "E15", "same seeded worlds, per-slot polling vs carrier-edge wakeups, 3 simulated minutes per N")
+	t.row("stations", "channels", "ev/sim-s slot", "ev/sim-s edge", "reduction", "delivered", "util", "deferrals")
+
+	for _, n := range []int{10, 50, 100, 200} {
+		slot := ScaleRun(n, true)
+		edge := ScaleRun(n, false)
+		key := fmt.Sprintf("_n%d", n)
+		r.set("events_per_sim_s_per_slot"+key, slot.EventsPerSimS)
+		r.set("events_per_sim_s"+key, edge.EventsPerSimS)
+		reduction := slot.EventsPerSimS / edge.EventsPerSimS
+		r.set("csma_event_reduction"+key, reduction)
+		r.set("delivery_per_slot"+key, slot.Delivery)
+		r.set("delivery"+key, edge.Delivery)
+		r.set("utilization"+key, edge.Utilization)
+		r.set("deferrals"+key, float64(edge.Deferrals))
+		mark := ""
+		if slot.Delivery != edge.Delivery || slot.Deferrals != edge.Deferrals {
+			mark = " MODES-DIVERGE" // equivalence broken: make it loud in the table
+		}
+		t.row(n, edge.Channels,
+			fmt.Sprintf("%.1f", slot.EventsPerSimS),
+			fmt.Sprintf("%.1f", edge.EventsPerSimS),
+			fmt.Sprintf("%.1fx", reduction),
+			fmt.Sprintf("%.0f%%%s", edge.Delivery*100, mark),
+			fmt.Sprintf("%.0f%%", edge.Utilization*100),
+			edge.Deferrals)
+	}
+	t.flush()
+	fmt.Fprintln(w, "   (delivery and deferrals are identical in both modes — the refactor removes")
+	fmt.Fprintln(w, "    events, not physics; delivery falls with N because ~25 stations per 1200 bps")
+	fmt.Fprintln(w, "    channel is past the E10 saturation knee, visible in the util column)")
+	return r
+}

@@ -320,7 +320,10 @@ func E10(w io.Writer) *Result {
 func sumDeferrals(stations []*radio.Transceiver) uint64 {
 	var n uint64
 	for _, s := range stations {
-		n += s.Stats.CSMADeferrals
+		// The accessor, not the raw field: E10 reads mid-contention at
+		// the window cutoff, where event-driven CSMA has parked slots
+		// not yet settled into Stats.
+		n += s.CSMADeferrals()
 	}
 	return n
 }

@@ -19,9 +19,23 @@
 // Channel access (p-persistent CSMA with slot time, per the KISS
 // parameters) is implemented here in Transceiver.Send because in the
 // real system it lives in the TNC, which owns those parameters.
+//
+// Contention is event-driven (DESIGN.md §3c): a deferred transmitter
+// does not poll the carrier once per SlotTime. Instead it computes, on
+// its own slot grid, the first instant the currently scheduled
+// transmissions leave idle, parks on the channel's wait-list with one
+// wake event at that instant, and is re-resolved on carrier edges
+// (key-up, and early release via Retune). Slots that pass while parked
+// are settled as CSMADeferrals in one step, and persistence draws
+// still happen one per idle slot from the transceiver's private RNG,
+// so the observable outcome — deferral counts, transmit instants,
+// collision windows — is identical to the seed per-slot polling path,
+// which survives behind Params.PerSlotCSMA for the equivalence
+// regression tests.
 package radio
 
 import (
+	"math/rand"
 	"time"
 
 	"packetradio/internal/sim"
@@ -58,6 +72,12 @@ type Channel struct {
 
 	stations []*Transceiver
 	active   []*transmission
+
+	// waiters are transceivers with a deferred transmission pending: an
+	// event-driven contender appears here from the moment its frame has
+	// to wait for the carrier (or a persistence draw) until it keys up,
+	// leaves on key-up or Retune, and is re-resolved on carrier edges.
+	waiters []*Transceiver
 
 	// unreachable holds ordered pairs (from,to) that cannot hear each
 	// other. Default (empty) is full mesh.
@@ -97,6 +117,10 @@ func (c *Channel) AirTime(n int) time.Duration {
 // (directed). All pairs start reachable.
 func (c *Channel) SetReachable(from, to *Transceiver, ok bool) {
 	c.unreachable[[2]*Transceiver{from, to}] = !ok
+	// Audibility is part of the carrier schedule: a waiter deferring to
+	// a transmission it can no longer hear may move its wake earlier
+	// (and one that just started hearing an active carrier, later).
+	c.reresolveWaiters()
 }
 
 func (c *Channel) reachable(from, to *Transceiver) bool {
@@ -111,6 +135,24 @@ func (c *Channel) Utilization() float64 {
 		return 0
 	}
 	return float64(c.Stats.Airtime) / float64(c.sched.Now().Duration())
+}
+
+// Waiters reports how many transceivers currently sit on the deferred-
+// transmitter wait-list. It must drain to zero when the channel goes
+// quiet — a nonzero value at quiescence is a leaked waiter.
+func (c *Channel) Waiters() int { return len(c.waiters) }
+
+func (c *Channel) addWaiter(t *Transceiver) {
+	c.waiters = append(c.waiters, t)
+}
+
+func (c *Channel) removeWaiter(t *Transceiver) {
+	for i, u := range c.waiters {
+		if u == t {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			return
+		}
+	}
 }
 
 type transmission struct {
@@ -143,6 +185,12 @@ type Params struct {
 	SlotTime   time.Duration // CSMA slot (default 100 ms)
 	Persist    float64       // p-persistence in (0,1] (default 0.25)
 	FullDuplex bool          // transmit without carrier sense
+
+	// PerSlotCSMA reverts channel access to the seed's polling loop —
+	// one scheduler event per SlotTime per deferred transmitter — for
+	// the event-driven-CSMA equivalence regression tests, mirroring
+	// serial.Line.PerByte.
+	PerSlotCSMA bool
 }
 
 // DefaultParams mirror common KISS defaults at 1200 bps.
@@ -163,6 +211,16 @@ func (p Params) withDefaults() Params {
 	return p
 }
 
+// slotTime is Params.SlotTime floored to the default: a zero slot
+// (reachable by pushing a raw KISS SlotTime byte of 0) would otherwise
+// wedge contention in a same-instant loop.
+func (p Params) slotTime() time.Duration {
+	if p.SlotTime <= 0 {
+		return 100 * time.Millisecond
+	}
+	return p.SlotTime
+}
+
 // Transceiver is one radio on the channel. Frames are queued with Send
 // and transmitted under CSMA; intact receptions are delivered to the
 // receive callback, damaged ones to the damage callback (which a TNC
@@ -175,15 +233,42 @@ type Transceiver struct {
 	ch *Channel
 	rx func(frame []byte, damaged bool)
 
-	queue          [][]byte
-	contending     bool
+	// csmaRng draws p-persistence decisions, noiseRng the BER survival
+	// of frames received here. Both are private streams seeded from
+	// Scheduler.DeriveSeed at Attach, so one station's draw sequence is
+	// a function of its attach position alone: adding stations (or
+	// reordering their traffic) never perturbs anyone else's CSMA
+	// outcomes, and batched draws stay sequence-identical to per-slot
+	// ones.
+	csmaRng  *rand.Rand
+	noiseRng *rand.Rand
+
+	queue      [][]byte
+	contending bool
+
+	// Event-driven contention state: slot is the next undecided instant
+	// on this transceiver's slot grid (anchored where contention
+	// started, advancing by SlotTime); wake is the single pending
+	// decision event, non-nil exactly while the transceiver is on the
+	// channel wait-list. Invariant: every grid slot that passes while
+	// the wake is pending was carrier-busy, so the stretch
+	// [slot, wakeTime) settles as deferrals when the wake fires.
+	slot sim.Time
+	wake *sim.Event
+
 	transmitting   bool
 	txStart, txEnd sim.Time
 }
 
 // Attach adds a new transceiver to the channel.
 func (c *Channel) Attach(name string, params Params) *Transceiver {
-	t := &Transceiver{Name: name, Params: params.withDefaults(), ch: c}
+	t := &Transceiver{
+		Name:     name,
+		Params:   params.withDefaults(),
+		ch:       c,
+		csmaRng:  rand.New(rand.NewSource(c.sched.DeriveSeed())),
+		noiseRng: rand.New(rand.NewSource(c.sched.DeriveSeed())),
+	}
 	c.stations = append(c.stations, t)
 	return t
 }
@@ -198,9 +283,10 @@ func (t *Transceiver) Channel() *Channel { return t.ch }
 // primitive behind World.MoveHost. A transmission in flight is cut
 // mid-frame: stations still on the old channel receive a truncated,
 // damaged copy. Queued frames carry over and contend on the new
-// channel. Reachability overrides involving the transceiver are
-// dropped from the old channel so a later return starts from the
-// full-mesh default.
+// channel; a pending deferral migrates with them (the waiter leaves
+// the old channel's wait-list and re-contends on the new one).
+// Reachability overrides involving the transceiver are dropped from
+// the old channel so a later return starts from the full-mesh default.
 func (t *Transceiver) Retune(to *Channel) {
 	old := t.ch
 	if old == to || to == nil {
@@ -212,6 +298,17 @@ func (t *Transceiver) Retune(to *Channel) {
 			break
 		}
 	}
+	// Migrate a pending event-driven deferral: off the old wait-list,
+	// wake cancelled, so contention restarts cleanly on the new
+	// channel below. (A per-slot contender keeps its scheduled contend
+	// closure, which simply finds t.ch pointing at the new channel —
+	// the seed behaviour.)
+	if t.wake != nil {
+		old.removeWaiter(t)
+		old.sched.Cancel(t.wake)
+		t.wake = nil
+		t.contending = false
+	}
 	// Cut any transmission in flight: cancel its end-of-frame
 	// completion (which would otherwise clobber the sender's state
 	// while it may already be transmitting on the new channel),
@@ -220,6 +317,7 @@ func (t *Transceiver) Retune(to *Channel) {
 	// it. The sender's transmit state is cleared so the new channel
 	// does not see a phantom half-duplex window.
 	now := old.sched.Now()
+	cut := false
 	for i := len(old.active) - 1; i >= 0; i-- {
 		tx := old.active[i]
 		if tx.sender != t {
@@ -227,6 +325,7 @@ func (t *Transceiver) Retune(to *Channel) {
 		}
 		old.sched.Cancel(tx.done)
 		old.active = append(old.active[:i], old.active[i+1:]...)
+		cut = true
 		for _, r := range old.stations {
 			if !old.reachable(t, r) {
 				continue
@@ -242,6 +341,12 @@ func (t *Transceiver) Retune(to *Channel) {
 			}
 		}
 	}
+	if cut {
+		// Early carrier release: waiters whose wake was computed
+		// against the cut transmission's end may now be able to move
+		// earlier.
+		old.reresolveWaiters()
+	}
 	t.transmitting = false
 	t.txStart, t.txEnd = 0, 0
 	for pair := range old.unreachable {
@@ -252,13 +357,36 @@ func (t *Transceiver) Retune(to *Channel) {
 	t.ch = to
 	to.stations = append(to.stations, t)
 	if len(t.queue) > 0 && !t.contending {
-		t.contending = true
-		to.sched.At(to.sched.Now(), t.contend)
+		t.startContention()
 	}
 }
 
 // SetReceiver installs the frame-delivery callback.
 func (t *Transceiver) SetReceiver(rx func(frame []byte, damaged bool)) { t.rx = rx }
+
+// SetParams installs new channel-access parameters (the TNC pushes
+// these on KISS parameter frames). Writing the Params field directly
+// is fine while idle; mid-defer, the pending wake and the settlement
+// arithmetic were computed against the old slot grid, so SetParams
+// settles the slots already passed under the old SlotTime and
+// re-anchors contention on the new parameters at the current instant.
+func (t *Transceiver) SetParams(p Params) {
+	old := t.Params
+	t.Params = p
+	if t.wake == nil {
+		return
+	}
+	now := t.ch.sched.Now()
+	if d := now.Sub(t.slot); d > 0 {
+		oldSlot := old.slotTime()
+		// Ceiling division: every old-grid instant strictly before now
+		// passed under busy carrier (the settled-deferral invariant).
+		t.Stats.CSMADeferrals += uint64((d + oldSlot - 1) / oldSlot)
+	}
+	t.slot = now
+	t.ch.sched.Cancel(t.wake)
+	t.wake = t.ch.sched.At(t.firstIdleSlot(now), t.onSlot)
+}
 
 // CarrierSense reports whether t currently detects channel activity
 // (its own transmission included).
@@ -266,22 +394,59 @@ func (t *Transceiver) CarrierSense() bool {
 	if t.transmitting {
 		return true
 	}
-	now := t.ch.sched.Now()
-	for _, tx := range t.ch.active {
-		if tx.sender == t || !t.ch.reachable(tx.sender, t) {
+	_, busy := t.busyUntil(t.ch.sched.Now())
+	return busy
+}
+
+// busyUntil reports whether an already-keyed transmission makes the
+// carrier busy for t at instant x — audible (reachable, past the
+// DCDDelay lock-in) and still on the air — and if so, until when the
+// carrier is known to stay busy from x.
+func (t *Transceiver) busyUntil(x sim.Time) (sim.Time, bool) {
+	c := t.ch
+	var until sim.Time
+	busy := false
+	for _, tx := range c.active {
+		if tx.sender == t || !c.reachable(tx.sender, t) {
 			continue
 		}
-		// The transmission is detectable only once the demodulator has
-		// had DCDDelay to lock onto it.
-		if now >= tx.start.Add(t.ch.DCDDelay) && tx.end > now {
-			return true
+		if tx.start.Add(c.DCDDelay) <= x && x < tx.end {
+			busy = true
+			if tx.end > until {
+				until = tx.end
+			}
 		}
 	}
-	return false
+	return until, busy
 }
 
 // QueueLen reports frames awaiting transmission.
 func (t *Transceiver) QueueLen() int { return len(t.queue) }
+
+// CSMADeferrals reports the deferral count as of the current instant.
+// The event-driven path settles skipped slots in bulk when its wake
+// fires, so mid-defer the raw Stats.CSMADeferrals field lags by the
+// slots currently parked under a busy carrier; this accessor counts
+// them in, making the value slot-exact at any read point — the same
+// interpolated-observation contract as serial.End.QueueLen (DESIGN.md
+// §3b).
+func (t *Transceiver) CSMADeferrals() uint64 {
+	n := t.Stats.CSMADeferrals
+	now := t.ch.sched.Now()
+	if t.wake != nil {
+		// Every grid slot in [t.slot, now) passed under busy carrier —
+		// the wake would otherwise have fired there — and the slot at
+		// now itself stands busy too unless it is the pending decision
+		// instant (wake exactly at now, not yet fired).
+		if d := now.Sub(t.slot); d >= 0 {
+			n += uint64(d / t.Params.slotTime())
+			if t.wake.When() > now {
+				n++
+			}
+		}
+	}
+	return n
+}
 
 // Send queues one frame (a fully framed byte string, FCS included) for
 // CSMA transmission. The slice is copied.
@@ -289,12 +454,98 @@ func (t *Transceiver) Send(frame []byte) {
 	t.queue = append(t.queue, append([]byte(nil), frame...))
 	t.Stats.FramesQueued++
 	if !t.contending && !t.transmitting {
-		t.contending = true
-		t.ch.sched.At(t.ch.sched.Now(), t.contend)
+		t.startContention()
 	}
 }
 
-// contend runs one step of p-persistent CSMA.
+// startContention anchors a fresh slot grid at the current instant and
+// begins channel access for the head-of-queue frame.
+func (t *Transceiver) startContention() {
+	t.contending = true
+	now := t.ch.sched.Now()
+	if t.Params.PerSlotCSMA {
+		t.ch.sched.At(now, t.contend)
+		return
+	}
+	t.slot = now
+	t.ch.addWaiter(t)
+	t.wake = t.ch.sched.At(t.firstIdleSlot(now), t.onSlot)
+}
+
+// stopContention retires the waiter state (the wake event has fired or
+// been cancelled by the caller).
+func (t *Transceiver) stopContention() {
+	t.contending = false
+	t.wake = nil
+	t.ch.removeWaiter(t)
+}
+
+// firstIdleSlot returns the earliest instant on t's slot grid, at or
+// after from, that the currently scheduled transmissions leave idle
+// for t. Busy stretches are skipped arithmetically in whole slots —
+// the carrier-edge replacement for one polling event per SlotTime.
+// Transmissions keyed up later can only push the result later; they
+// re-resolve the waiter at key-up.
+func (t *Transceiver) firstIdleSlot(from sim.Time) sim.Time {
+	if t.Params.FullDuplex {
+		return from // full duplex never defers to carrier
+	}
+	slotTime := t.Params.slotTime()
+	slot := from
+	for {
+		until, busy := t.busyUntil(slot)
+		if !busy {
+			return slot
+		}
+		n := (until.Sub(slot) + slotTime - 1) / slotTime
+		slot = slot.Add(time.Duration(n) * slotTime)
+	}
+}
+
+// onSlot is the single contention decision point of the event-driven
+// path, firing exactly at a slot instant that was idle when the wake
+// was last resolved.
+func (t *Transceiver) onSlot() {
+	t.wake = nil // one-shot pointer discipline: the event is spent
+	now := t.ch.sched.Now()
+	slotTime := t.Params.slotTime()
+	// Settle the stretch the wake skipped: every grid slot in
+	// [t.slot, now) passed under busy carrier (key-ups only push the
+	// wake later, and early release re-resolves it), so each is one
+	// deferral the per-slot path would have burned an event on.
+	if d := now.Sub(t.slot); d > 0 {
+		t.Stats.CSMADeferrals += uint64(d / slotTime)
+	}
+	t.slot = now
+	if len(t.queue) == 0 {
+		t.stopContention()
+		return
+	}
+	p := t.Params
+	if !p.FullDuplex {
+		if t.CarrierSense() {
+			// A carrier keyed up at this very instant (zero DCDDelay)
+			// before our wake ran.
+			t.Stats.CSMADeferrals++
+			t.slot = t.slot.Add(slotTime)
+			t.wake = t.ch.sched.At(t.firstIdleSlot(t.slot), t.onSlot)
+			return
+		}
+		if t.csmaRng.Float64() >= p.Persist {
+			t.Stats.CSMADeferrals++
+			t.slot = t.slot.Add(slotTime)
+			t.wake = t.ch.sched.At(t.firstIdleSlot(t.slot), t.onSlot)
+			return
+		}
+	}
+	t.stopContention()
+	t.transmit(t.queue[0])
+	t.queue = t.queue[1:]
+}
+
+// contend runs one step of the seed per-slot polling CSMA
+// (Params.PerSlotCSMA): one scheduler event per SlotTime while
+// deferred.
 func (t *Transceiver) contend() {
 	if len(t.queue) == 0 {
 		t.contending = false
@@ -304,18 +555,41 @@ func (t *Transceiver) contend() {
 	if !p.FullDuplex {
 		if t.CarrierSense() {
 			t.Stats.CSMADeferrals++
-			t.ch.sched.After(p.SlotTime, t.contend)
+			t.ch.sched.After(p.slotTime(), t.contend)
 			return
 		}
-		if t.ch.sched.Rand().Float64() >= p.Persist {
+		if t.csmaRng.Float64() >= p.Persist {
 			t.Stats.CSMADeferrals++
-			t.ch.sched.After(p.SlotTime, t.contend)
+			t.ch.sched.After(p.slotTime(), t.contend)
 			return
 		}
 	}
 	t.contending = false
 	t.transmit(t.queue[0])
 	t.queue = t.queue[1:]
+}
+
+// reresolveWaiters recomputes every waiter's wake after an early
+// carrier release (a transmission cut by Retune): the first idle slot
+// may now be sooner than the one the wake was parked on. Slots behind
+// the current instant stay settled as busy — the cut carrier really
+// did occupy them.
+func (c *Channel) reresolveWaiters() {
+	now := c.sched.Now()
+	for _, u := range c.waiters {
+		if u.wake == nil {
+			continue
+		}
+		slotTime := u.Params.slotTime()
+		from := u.slot
+		if from < now {
+			n := (now.Sub(from) + slotTime - 1) / slotTime
+			from = from.Add(time.Duration(n) * slotTime)
+		}
+		if w := u.firstIdleSlot(from); w != u.wake.When() {
+			c.sched.Reschedule(u.wake, w)
+		}
+	}
 }
 
 func (t *Transceiver) transmit(frame []byte) {
@@ -352,6 +626,18 @@ func (t *Transceiver) transmit(frame []byte) {
 		}
 	}
 	c.active = append(c.active, tx)
+	// Carrier edge: waiters whose parked slot the new carrier now
+	// covers slide their wake to the far side of it (never earlier, so
+	// the settled-deferral invariant holds).
+	for _, u := range c.waiters {
+		if u == t || u.wake == nil {
+			continue
+		}
+		w := u.wake.When()
+		if nw := u.firstIdleSlot(w); nw != w {
+			c.sched.Reschedule(u.wake, nw)
+		}
+	}
 	tx.done = c.sched.At(tx.end, func() { c.complete(tx) })
 }
 
@@ -382,7 +668,7 @@ func (c *Channel) complete(tx *transmission) {
 		if !damaged && c.BitErrorRate > 0 {
 			bits := float64((len(tx.frame) + 2) * 8)
 			pSurvive := pow1m(c.BitErrorRate, bits)
-			if c.sched.Rand().Float64() >= pSurvive {
+			if r.noiseRng.Float64() >= pSurvive {
 				damaged = true
 			}
 		}
@@ -400,8 +686,7 @@ func (c *Channel) complete(tx *transmission) {
 
 	// Sender may have more queued traffic.
 	if len(sender.queue) > 0 && !sender.contending {
-		sender.contending = true
-		c.sched.At(c.sched.Now(), sender.contend)
+		sender.startContention()
 	}
 }
 

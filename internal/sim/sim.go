@@ -189,6 +189,30 @@ func (s *Scheduler) NamedAfter(d time.Duration, name string, fn func()) *Event {
 	return e
 }
 
+// Reschedule moves a still-pending event to fire at t instead, keeping
+// the same callback. Times in the past clamp to now. The event is
+// re-sequenced as if freshly scheduled, so among same-instant events it
+// runs after everything already queued for t — exactly the ordering a
+// Cancel followed by At would produce, without cycling the event
+// through the free list (the radio channel's carrier-edge wakeups
+// slide one wake event around instead of burning a fresh event per
+// CSMA slot). Rescheduling a fired or cancelled event returns false
+// and does nothing: the pointer may already belong to someone else's
+// timer (see the pooling discipline above).
+func (s *Scheduler) Reschedule(e *Event, t Time) bool {
+	if e == nil || e.index < 0 {
+		return false
+	}
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	e.when = t
+	e.seq = s.seq
+	heap.Fix(&s.queue, e.index)
+	return true
+}
+
 // Cancel removes e from the queue. Cancelling an already-fired or
 // already-cancelled event is a no-op. Returns whether the event was
 // actually removed.

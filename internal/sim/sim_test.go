@@ -346,3 +346,66 @@ func TestAtNilFuncPanics(t *testing.T) {
 	}()
 	NewScheduler(1).At(0, nil)
 }
+
+func TestRescheduleMovesEvent(t *testing.T) {
+	s := NewScheduler(1)
+	var at Time
+	e := s.After(10*time.Millisecond, func() { at = s.Now() })
+	if !s.Reschedule(e, Time(30*time.Millisecond)) {
+		t.Fatal("Reschedule of a pending event returned false")
+	}
+	s.Run()
+	if at != Time(30*time.Millisecond) {
+		t.Fatalf("event fired at %v, want T+30ms", at)
+	}
+	if s.Fired() != 1 {
+		t.Fatalf("fired %d events, want 1", s.Fired())
+	}
+}
+
+func TestRescheduleEarlierAndPastClamp(t *testing.T) {
+	s := NewScheduler(1)
+	s.After(5*time.Millisecond, func() {})
+	var at Time
+	e := s.After(time.Second, func() { at = s.Now() })
+	s.RunUntil(Time(5 * time.Millisecond))
+	// Move to before now: clamps to the current instant.
+	s.Reschedule(e, 0)
+	s.Run()
+	if at != Time(5*time.Millisecond) {
+		t.Fatalf("event fired at %v, want clamp to T+5ms", at)
+	}
+}
+
+func TestRescheduleOrdersAsFreshlyScheduled(t *testing.T) {
+	s := NewScheduler(1)
+	var order []string
+	e := s.After(time.Millisecond, func() { order = append(order, "moved") })
+	s.After(10*time.Millisecond, func() { order = append(order, "resident") })
+	// Moving e onto the resident's instant must run it after the
+	// resident, exactly as a fresh At(10ms) would.
+	s.Reschedule(e, Time(10*time.Millisecond))
+	s.Run()
+	if len(order) != 2 || order[0] != "resident" || order[1] != "moved" {
+		t.Fatalf("order = %v, want [resident moved]", order)
+	}
+}
+
+func TestRescheduleDeadEventIsRefused(t *testing.T) {
+	s := NewScheduler(1)
+	e := s.After(time.Millisecond, func() {})
+	s.Run()
+	if s.Reschedule(e, Time(time.Second)) {
+		t.Fatal("Reschedule of a fired event returned true")
+	}
+	s.Cancel(e)
+	var ev *Event
+	ev = s.After(time.Millisecond, func() { ev = nil })
+	s.Cancel(ev)
+	if s.Reschedule(ev, Time(time.Second)) {
+		t.Fatal("Reschedule of a cancelled event returned true")
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("queue has %d events after refusals, want 0", s.Pending())
+	}
+}

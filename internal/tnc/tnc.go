@@ -114,12 +114,18 @@ func (t *TNC) SetHostQueueFrames(n int) {
 // applyParams translates KISS parameter bytes into radio channel-access
 // parameters.
 func (t *TNC) applyParams() {
-	t.rf.Params = radio.Params{
+	// SetParams, not a field write: a KISS parameter frame can land
+	// while the radio sits mid-defer, and the contention engine must
+	// re-anchor its slot grid on the new SlotTime.
+	t.rf.SetParams(radio.Params{
 		TXDelay:    time.Duration(t.params.TXDelay) * 10 * time.Millisecond,
 		SlotTime:   time.Duration(t.params.SlotTime) * 10 * time.Millisecond,
 		Persist:    (float64(t.params.Persist) + 1) / 256,
 		FullDuplex: t.params.FullDuplex,
-	}
+		// Channel-access mode is a property of the simulation run, not
+		// a KISS parameter: carry it across parameter updates.
+		PerSlotCSMA: t.rf.Params.PerSlotCSMA,
+	})
 }
 
 // fromHost handles one decoded KISS frame arriving from the host.

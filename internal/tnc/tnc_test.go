@@ -144,7 +144,11 @@ func TestCollisionDropsFrameViaCRC(t *testing.T) {
 	a := newStation(s, ch, "AAA", 9600)
 	b := newStation(s, ch, "BBB", 9600)
 	c := newStation(s, ch, "CCC", 9600)
-	// Simultaneous keyup within the DCD window collides at c.
+	// p=1 removes the persistence lottery: both stations key up at the
+	// same instant, within the DCD window, and collide at c.
+	a.host.Write(kiss.EncodeCommand(nil, 0, kiss.CmdPersist, []byte{255}))
+	b.host.Write(kiss.EncodeCommand(nil, 0, kiss.CmdPersist, []byte{255}))
+	s.RunFor(time.Second)
 	a.sendUI(t, "CCC", "AAA", ax25.PIDNone, bytes.Repeat([]byte{1}, 64))
 	b.sendUI(t, "CCC", "BBB", ax25.PIDNone, bytes.Repeat([]byte{2}, 64))
 	s.RunFor(30 * time.Second)

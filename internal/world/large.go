@@ -43,6 +43,11 @@ type LargeConfig struct {
 	// station pings the Internet host on this period, with start times
 	// spread across the interval so the channels do not synchronize.
 	PingInterval time.Duration
+
+	// PerSlotCSMA runs every radio through the seed's one-event-per-
+	// slot contention polling instead of carrier-edge wakeups — the
+	// "before" side of E15's event-count comparison.
+	PerSlotCSMA bool
 }
 
 func (cfg LargeConfig) withDefaults() LargeConfig {
@@ -112,7 +117,7 @@ func NewLarge(cfg LargeConfig) *Large {
 		gw := w.Host(fmt.Sprintf("gw%d", c+1))
 		gw.AttachEther(lw.Ether, "qe0", LargeGatewayEtherIP(c), ip.MaskClassB)
 		gw.AttachRadio(ch, "pr0", fmt.Sprintf("GW%d", c+1), LargeGatewayRadioIP(c), ip.MaskClassB,
-			RadioConfig{Baud: cfg.Baud, Filter: filter})
+			RadioConfig{Baud: cfg.Baud, Filter: filter, PerSlotCSMA: cfg.PerSlotCSMA})
 		gw.MakeGateway("pr0", "qe0", false)
 		lw.Gateways = append(lw.Gateways, gw)
 	}
@@ -142,7 +147,7 @@ func NewLarge(cfg LargeConfig) *Large {
 		c := i % cfg.Channels
 		st := w.Host(fmt.Sprintf("st%d", i))
 		st.AttachRadio(lw.Channels[c], "pr0", fmt.Sprintf("S%d", i), cfg.LargeStationIP(i), ip.MaskClassB,
-			RadioConfig{Baud: cfg.Baud, Filter: filter})
+			RadioConfig{Baud: cfg.Baud, Filter: filter, PerSlotCSMA: cfg.PerSlotCSMA})
 		st.Stack.Routes.AddDefault(LargeGatewayRadioIP(c), "pr0")
 		lw.Stations = append(lw.Stations, st)
 	}

@@ -152,6 +152,11 @@ type RadioConfig struct {
 	// one-event-per-byte delivery, for burst-equivalence regression
 	// tests.
 	PerByteSerial bool
+
+	// PerSlotCSMA reverts the radio to the seed's one-event-per-slot
+	// contention polling, for CSMA-equivalence regression tests and the
+	// E15 before/after measurement.
+	PerSlotCSMA bool
 }
 
 // AttachRadio builds the full Figure 1 chain on channel ch: a KISS TNC
@@ -164,9 +169,10 @@ func (h *Host) AttachRadio(ch *radio.Channel, ifName string, call string, addr i
 		hostEnd.Line().PerByte = true
 	}
 	rf := ch.Attach(call, radio.Params{
-		TXDelay:  cfg.TXDelay,
-		SlotTime: cfg.SlotTime,
-		Persist:  cfg.Persist,
+		TXDelay:     cfg.TXDelay,
+		SlotTime:    cfg.SlotTime,
+		Persist:     cfg.Persist,
+		PerSlotCSMA: cfg.PerSlotCSMA,
 	})
 	t := tnc.New(h.world.Sched, tncEnd, rf, mycall)
 	t.Filter = cfg.Filter
@@ -352,6 +358,10 @@ type SeattleConfig struct {
 	// PerByteSerial runs every RS-232 line through the seed's
 	// one-event-per-byte chain (burst-equivalence regression tests).
 	PerByteSerial bool
+
+	// PerSlotCSMA runs every radio through the seed's one-event-per-
+	// slot contention polling (CSMA-equivalence regression tests).
+	PerSlotCSMA bool
 }
 
 // GatewayIP is the paper's actual gateway address: "the packet radio
@@ -391,7 +401,7 @@ func NewSeattle(cfg SeattleConfig) *Seattle {
 	gw := w.Host("uw-gw")
 	gw.AttachEther(s.Ether, "qe0", GatewayEtherIP, ip.MaskClassB)
 	gw.AttachRadio(s.Channel, "pr0", "N7AKR", GatewayIP, ip.MaskClassA,
-		RadioConfig{Baud: cfg.Baud, Filter: cfg.TNCFilter, PerByteSerial: cfg.PerByteSerial})
+		RadioConfig{Baud: cfg.Baud, Filter: cfg.TNCFilter, PerByteSerial: cfg.PerByteSerial, PerSlotCSMA: cfg.PerSlotCSMA})
 	s.GatewayGW = gw.MakeGateway("pr0", "qe0", cfg.WithACL)
 	s.Gateway = gw
 
@@ -399,7 +409,7 @@ func NewSeattle(cfg SeattleConfig) *Seattle {
 		gw2 := w.Host("uw-gw2")
 		gw2.AttachEther(s.Ether, "qe0", Gateway2EtherIP, ip.MaskClassB)
 		gw2.AttachRadio(s.Channel, "pr0", "N7BKR", Gateway2IP, ip.MaskClassA,
-			RadioConfig{Baud: cfg.Baud, Filter: cfg.TNCFilter, PerByteSerial: cfg.PerByteSerial})
+			RadioConfig{Baud: cfg.Baud, Filter: cfg.TNCFilter, PerByteSerial: cfg.PerByteSerial, PerSlotCSMA: cfg.PerSlotCSMA})
 		s.Gateway2GW = gw2.MakeGateway("pr0", "qe0", cfg.WithACL)
 		s.Gateway2 = gw2
 	}
@@ -419,7 +429,7 @@ func NewSeattle(cfg SeattleConfig) *Seattle {
 	for i := 0; i < cfg.NumPCs; i++ {
 		pc := w.Host(fmt.Sprintf("pc%d", i+1))
 		pc.AttachRadio(s.Channel, "pr0", PCCall(i), PCIP(i), ip.MaskClassA,
-			RadioConfig{Baud: cfg.Baud, PerByteSerial: cfg.PerByteSerial})
+			RadioConfig{Baud: cfg.Baud, PerByteSerial: cfg.PerByteSerial, PerSlotCSMA: cfg.PerSlotCSMA})
 		// Everything off net 44 goes via the gateway's radio address.
 		if !cfg.NoStaticRoutes {
 			pc.Stack.Routes.AddDefault(GatewayIP, "pr0")

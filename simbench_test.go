@@ -9,7 +9,7 @@ package packetradio
 
 import (
 	"encoding/json"
-	"io"
+	"fmt"
 	"os"
 	"testing"
 	"time"
@@ -27,6 +27,13 @@ import (
 // see "seattle_ping_speedup" in BENCH_simcore.json for the measured
 // value.
 const preBurstSeattlePingNs = 86598.0
+
+// seattlePingIters is the iteration count behind the events/op numbers
+// in BENCH_simcore.json. TestEventGate recomputes with the same count:
+// the quotient depends on it (ARP refresh and ICMP id sequencing
+// amortize differently over different windows), so gate and baseline
+// must share it.
+const seattlePingIters = 20000
 
 // seattlePing measures one warm ping through the full chain, returning
 // wall ns/op and scheduler events/op over iters iterations.
@@ -68,9 +75,8 @@ func schedulerAllocsPerOp() float64 {
 // fires at least 5x fewer scheduler events per ping than the per-byte
 // chain, and the hot scheduler loop does not allocate.
 func TestWriteSimCoreBench(t *testing.T) {
-	const iters = 20000
-	burstNs, burstEvents := seattlePing(false, iters)
-	_, perByteEvents := seattlePing(true, iters/10)
+	burstNs, burstEvents := seattlePing(false, seattlePingIters)
+	_, perByteEvents := seattlePing(true, seattlePingIters/10)
 
 	if burstEvents*5 > perByteEvents {
 		t.Fatalf("burst path fires %.0f events/ping vs %.0f per-byte — coalescing regressed",
@@ -81,13 +87,24 @@ func TestWriteSimCoreBench(t *testing.T) {
 		t.Fatalf("scheduler After+Step allocates %.2f objects/op, want 0", allocs)
 	}
 
-	e14 := experiments.E14(io.Discard)
 	scaling := map[string]any{}
-	for _, n := range []string{"n10", "n50", "n100", "n200"} {
-		scaling[n] = map[string]float64{
-			"sim_s_per_wall_s": e14.Get("sim_s_per_wall_s_" + n),
-			"events_per_sim_s": e14.Get("events_per_sim_s_" + n),
-			"delivery_ratio":   e14.Get("delivery_" + n),
+	for _, n := range []int{10, 50, 100, 200} {
+		edge := experiments.ScaleRun(n, false)
+		slot := experiments.ScaleRun(n, true)
+		if slot.Delivery != edge.Delivery || slot.Deferrals != edge.Deferrals {
+			t.Fatalf("N=%d: per-slot and event-driven CSMA disagree (delivery %.4f vs %.4f, deferrals %d vs %d)",
+				n, slot.Delivery, edge.Delivery, slot.Deferrals, edge.Deferrals)
+		}
+		if n == 200 && edge.EventsPerSimS*3 > slot.EventsPerSimS {
+			t.Fatalf("N=200 event-driven CSMA fires %.1f events/sim-s vs %.1f per-slot — want >= 3x fewer",
+				edge.EventsPerSimS, slot.EventsPerSimS)
+		}
+		scaling[fmt.Sprintf("n%d", n)] = map[string]float64{
+			"sim_s_per_wall_s":          edge.SimSPerWallS,
+			"events_per_sim_s":          edge.EventsPerSimS,
+			"events_per_sim_s_per_slot": slot.EventsPerSimS,
+			"csma_event_reduction":      slot.EventsPerSimS / edge.EventsPerSimS,
+			"delivery_ratio":            edge.Delivery,
 		}
 	}
 
