@@ -42,6 +42,7 @@ var index = []struct {
 	{"E13", "delivery ratio under link churn: static vs RSPF", experiments.E13},
 	{"E14", "simulator scaling: N-station worlds per wall second", experiments.E14},
 	{"E15", "event-driven CSMA: events per simulated second, before/after", experiments.E15},
+	{"E16", "DAMA vs CSMA: delivery past the saturation knee", experiments.E16},
 }
 
 func main() {

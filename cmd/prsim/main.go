@@ -8,6 +8,7 @@
 //	prsim                          # default: pings + a telnet session
 //	prsim -bps 9600 -pcs 4 -acl    # faster channel, more PCs, §4.3 ACL
 //	prsim -load 60                 # add 60% background channel load
+//	prsim -mac dama -pcs 8         # polled access instead of CSMA
 package main
 
 import (
@@ -34,10 +35,17 @@ func main() {
 	dur := flag.Duration("dur", 10*time.Minute, "simulated duration")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	quiet := flag.Bool("q", false, "suppress the frame monitor")
+	macFlag := flag.String("mac", "csma", "channel access: csma (p-persistent) or dama (polled)")
 	flag.Parse()
 
+	mac, err := world.ParseMACMode(*macFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
 	s := world.NewSeattle(world.SeattleConfig{
-		Seed: *seed, NumPCs: *pcs, BitRate: *bps, Baud: *baud, WithACL: *acl,
+		Seed: *seed, NumPCs: *pcs, BitRate: *bps, Baud: *baud, WithACL: *acl, MAC: mac,
 	})
 
 	if !*quiet {
@@ -50,8 +58,8 @@ func main() {
 	}
 
 	// Workload 1: the paper's first test, ICMP-level.
-	fmt.Printf("# %d bps channel, %d baud serial, %d PCs, acl=%v, load=%d%%\n",
-		*bps, *baud, *pcs, *acl, *load)
+	fmt.Printf("# %d bps channel, %d baud serial, %d PCs, acl=%v, load=%d%%, mac=%v\n",
+		*bps, *baud, *pcs, *acl, *load, mac)
 	fmt.Println("# pc1 pings the Internet host through the gateway")
 	for i := 0; i < 3; i++ {
 		seq := i
@@ -91,6 +99,11 @@ func main() {
 		port.Driver.DStats.BytesFed, port.TNC.Stats.HostDrops)
 	fmt.Printf("# channel: utilization=%.1f%% collisions=%d\n",
 		s.Channel.Utilization()*100, s.Channel.Stats.CollisionPairs)
+	if mac == world.MACDAMA {
+		fmt.Printf("# dama: polls=%d timeouts=%d controlAirtime=%v (%.1f%% of airtime)\n",
+			port.RF.Stats.PollsSent, port.RF.Stats.PollTimeouts, s.Channel.Stats.ControlAirtime,
+			100*float64(s.Channel.Stats.ControlAirtime)/float64(s.Channel.Stats.Airtime))
+	}
 	if s.GatewayGW.ACL != nil {
 		fmt.Printf("# acl: %+v\n", s.GatewayGW.ACL.Stats)
 	}

@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"packetradio/internal/experiments"
+	"packetradio/internal/world"
 )
 
 func TestEventGate(t *testing.T) {
@@ -27,6 +28,11 @@ func TestEventGate(t *testing.T) {
 			EventsPerSimS float64 `json:"events_per_sim_s"`
 			DeliveryRatio float64 `json:"delivery_ratio"`
 		} `json:"e14_scaling"`
+		E16MAC map[string]map[string]struct {
+			Replies       float64 `json:"replies"`
+			EventsPerSimS float64 `json:"events_per_sim_s"`
+			Collisions    float64 `json:"collisions"`
+		} `json:"e16_mac"`
 	}
 	if err := json.Unmarshal(raw, &committed); err != nil {
 		t.Fatal(err)
@@ -51,5 +57,38 @@ func TestEventGate(t *testing.T) {
 		if pt.Delivery != want.DeliveryRatio {
 			t.Errorf("E14 %s delivery_ratio = %v, committed %v", key, pt.Delivery, want.DeliveryRatio)
 		}
+	}
+
+	// E16 rows: the DAMA poll schedule is RNG-free, so its event rate
+	// and delivery *counts* gate exactly, alongside the CSMA control
+	// cells of the same worlds. N=100 is the acceptance point (the
+	// knee must stay lifted); N=10 pins the below-knee behaviour.
+	for _, n := range []int{10, 100} {
+		key := map[int]string{10: "n10", 100: "n100"}[n]
+		want, ok := committed.E16MAC[key]
+		if !ok {
+			t.Fatalf("baseline has no e16_mac.%s", key)
+		}
+		for mac, mode := range map[string]world.MACMode{"csma": world.MACCSMA, "dama": world.MACDAMA} {
+			cell, ok := want[mac]
+			if !ok {
+				t.Fatalf("baseline has no e16_mac.%s.%s", key, mac)
+			}
+			pt := experiments.MACRun(n, mode)
+			if float64(pt.Replies) != cell.Replies {
+				t.Errorf("E16 %s/%s replies = %d, committed %v", key, mac, pt.Replies, cell.Replies)
+			}
+			if pt.EventsPerSimS != cell.EventsPerSimS {
+				t.Errorf("E16 %s/%s events_per_sim_s = %v, committed %v", key, mac, pt.EventsPerSimS, cell.EventsPerSimS)
+			}
+			if float64(pt.Collisions) != cell.Collisions {
+				t.Errorf("E16 %s/%s collisions = %d, committed %v", key, mac, pt.Collisions, cell.Collisions)
+			}
+		}
+	}
+	n100 := committed.E16MAC["n100"]
+	if n100["dama"].Replies <= n100["csma"].Replies {
+		t.Errorf("committed baseline itself violates the acceptance bar: DAMA %v replies <= CSMA %v at N=100",
+			n100["dama"].Replies, n100["csma"].Replies)
 	}
 }

@@ -150,6 +150,12 @@ type Resolver struct {
 	// (default 1, like the single ARP hold mbuf in BSD).
 	MaxHold int
 
+	// AcceptUnsolicited learns the sender mapping of every ARP packet
+	// heard, not just RFC 826's merge-if-present — the KA9Q NOS
+	// behaviour AX.25 networks relied on, where a gateway's broadcast
+	// gratuitous reply seeds every station's cache in one frame.
+	AcceptUnsolicited bool
+
 	// SendPacket transmits an ARP packet; dstHW nil means broadcast.
 	SendPacket func(p *Packet, dstHW []byte)
 	// Deliver transmits a held IP datagram once its next hop resolves.
@@ -264,7 +270,7 @@ func (r *Resolver) Input(p *Packet) {
 		return
 	}
 	merge := false
-	if _, ok := r.cache[p.SPA]; ok {
+	if _, ok := r.cache[p.SPA]; ok || r.AcceptUnsolicited {
 		r.learn(p.SPA, p.SHA)
 		merge = true
 	}
@@ -311,6 +317,23 @@ func (r *Resolver) learn(addr ip.Addr, hw []byte) {
 			r.Deliver(pkt, hw)
 		}
 	}
+}
+
+// Learn installs (or refreshes) a mapping gleaned outside the ARP
+// exchange proper — the NOS-style "auto ARP" that reads the link
+// source of a received IP frame. Held packets flush exactly as they
+// would on a reply.
+func (r *Resolver) Learn(addr ip.Addr, hw []byte) { r.learn(addr, hw) }
+
+// Announce broadcasts a gratuitous reply advertising our own mapping
+// (TPA = SPA, the classic ARP announce). Receivers running
+// AcceptUnsolicited seed their caches from it.
+func (r *Resolver) Announce() {
+	r.SendPacket(&Packet{
+		HType: r.HType, PType: EtherTypeIP, Op: OpReply,
+		SHA: r.MyHW, SPA: r.MyIP,
+		THA: make([]byte, len(r.MyHW)), TPA: r.MyIP,
+	}, nil)
 }
 
 // CacheSize reports live cache entries.

@@ -98,6 +98,15 @@ type PacketRadioIf struct {
 	// drops (IF_DROP semantics). Default 4096.
 	OutQueueBytes int
 
+	// AutoARP enables the KA9Q NOS conveniences AX.25 IP networks ran
+	// with: glean (IP source, link source) mappings from received IP
+	// frames, and accept unsolicited ARP announcements. Off by default
+	// — the paper's Seattle deployment speaks strict RFC 826 — and
+	// switched on in the generated scale worlds, where a blocking ARP
+	// exchange per station would dominate cold start. Set before
+	// traffic flows.
+	AutoARP bool
+
 	DStats DriverStats
 
 	name  string
@@ -168,6 +177,20 @@ func (d *PacketRadioIf) Stats() *netif.Stats { return &d.stats }
 // Resolver exposes the AX.25 ARP engine for static entries and stats.
 func (d *PacketRadioIf) Resolver() *arp.Resolver { return d.res }
 
+// EnableAutoARP turns on gleaning and unsolicited-learn (see AutoARP).
+func (d *PacketRadioIf) EnableAutoARP() {
+	d.AutoARP = true
+	d.res.AcceptUnsolicited = true
+}
+
+// AnnounceARP broadcasts the interface's gratuitous ARP now and every
+// period thereafter — the gateway habit that seeds every AutoARP
+// station's cache in one frame instead of N request/reply exchanges.
+func (d *PacketRadioIf) AnnounceARP(period time.Duration) *sim.Ticker {
+	d.res.Announce()
+	return d.sched.Every(period, d.res.Announce)
+}
+
 // SetPath configures the digipeater path used to reach a next-hop IP
 // address — the "additional callsigns for digipeaters" the paper's
 // ARP entries may carry.
@@ -230,6 +253,13 @@ func (d *PacketRadioIf) kissFrame(kf kiss.Frame) {
 	}
 	switch {
 	case f.Kind == ax25.KindUI && f.PID == ax25.PIDIP:
+		// NOS-style auto-ARP: the AX.25 source of a received IP frame
+		// IS a valid (IP src, link addr) mapping; gleaning it spares
+		// the reverse path a blocking ARP exchange — on a polled
+		// channel, a poll-cycle's worth of latency.
+		if d.AutoARP && len(f.Info) >= ip.HeaderLen {
+			d.res.Learn(ip.AddrFrom(f.Info[12], f.Info[13], f.Info[14], f.Info[15]), f.Src.HW())
+		}
 		if !d.ipq.Enqueue(append([]byte(nil), f.Info...)) {
 			d.DStats.IPQDrops++
 			d.stats.Iqdrops++

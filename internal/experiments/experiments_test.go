@@ -181,11 +181,11 @@ func TestE10CSMASaturates(t *testing.T) {
 func TestRunAllProducesReadableReport(t *testing.T) {
 	var sb strings.Builder
 	results := RunAll(&sb)
-	if len(results) != 17 {
+	if len(results) != 18 {
 		t.Fatalf("got %d results", len(results))
 	}
 	out := sb.String()
-	for _, id := range []string{"F1", "F2a", "F2b", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"} {
+	for _, id := range []string{"F1", "F2a", "F2b", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16"} {
 		if !strings.Contains(out, "== "+id) {
 			t.Fatalf("report missing section %s", id)
 		}
@@ -304,5 +304,39 @@ func TestE15EventDrivenCSMAWins(t *testing.T) {
 	}
 	if u := r.Get("utilization_n10"); u > 0.8 {
 		t.Fatalf("N=10 channel utilization %.2f — light world unexpectedly saturated", u)
+	}
+}
+
+func TestE16DAMALiftsKnee(t *testing.T) {
+	r := E16(io.Discard)
+	// The acceptance bar: past the knee, polled access delivers
+	// strictly more frames than edge-CSMA at the same offered load —
+	// and N=100 on one channel is well past it.
+	for _, n := range []int{50, 100, 200} {
+		key := fmt.Sprintf("_n%d", n)
+		c, d := r.Get("replies_csma"+key), r.Get("replies_dama"+key)
+		if d <= c {
+			t.Fatalf("N=%d: DAMA delivered %.0f replies vs CSMA %.0f — the knee did not lift", n, d, c)
+		}
+		// Collision-free by construction, at every saturation level.
+		if col := r.Get("collisions_dama" + key); col != 0 {
+			t.Fatalf("N=%d: DAMA channel recorded %.0f collision pairs", n, col)
+		}
+		if col := r.Get("collisions_csma" + key); col == 0 {
+			t.Fatalf("N=%d: CSMA control run had no collisions; the comparison is vacuous", n)
+		}
+	}
+	// Below the knee the policies must both essentially work: DAMA's
+	// poll overhead may cost a little delivery but not collapse it.
+	if c, d := r.Get("delivery_csma_n10"), r.Get("delivery_dama_n10"); c < 0.8 || d < 0.8 {
+		t.Fatalf("N=10 delivery csma=%.2f dama=%.2f — light world should be comfortable for both", c, d)
+	}
+	// The overhead columns must be populated: CSMA pays in deferrals,
+	// DAMA in poll airtime.
+	if r.Get("deferrals_csma_n100") == 0 || r.Get("polls_dama_n100") == 0 {
+		t.Fatal("overhead counters missing")
+	}
+	if s := r.Get("control_share_dama_n100"); s <= 0 || s >= 0.5 {
+		t.Fatalf("DAMA control airtime share %.2f at N=100 — want positive but minority", s)
 	}
 }

@@ -43,11 +43,18 @@ import (
 
 // ChannelStats aggregates channel-wide accounting.
 type ChannelStats struct {
-	FramesStarted  uint64        // transmissions keyed up
+	FramesStarted  uint64        // transmissions keyed up (data and control)
 	FramesDamaged  uint64        // receptions lost to collision or noise
 	FramesHeard    uint64        // successful receptions (per receiver)
 	Airtime        time.Duration // total transmit airtime (sum over senders)
 	CollisionPairs uint64        // distinct overlapping transmission pairs
+
+	// MAC-overhead accounting: airtime and key-ups spent on pure
+	// channel-access control traffic (DAMA polls and no-traffic
+	// responses — CSMA has none). Included in Airtime/FramesStarted
+	// above; E16 reports the share.
+	ControlFrames  uint64
+	ControlAirtime time.Duration
 }
 
 // Channel is one radio frequency shared by all attached transceivers.
@@ -82,6 +89,12 @@ type Channel struct {
 	// unreachable holds ordered pairs (from,to) that cannot hear each
 	// other. Default (empty) is full mesh.
 	unreachable map[[2]*Transceiver]bool
+
+	// accs are the distinct channel-access policies in use by attached
+	// stations (refcounted in accRef), in first-arrival order; carrier
+	// edges dispatch to each exactly once.
+	accs   []Accessor
+	accRef map[Accessor]int
 }
 
 // DefaultBitRate is the classic 1200 bps AFSK channel rate of the
@@ -120,7 +133,9 @@ func (c *Channel) SetReachable(from, to *Transceiver, ok bool) {
 	// Audibility is part of the carrier schedule: a waiter deferring to
 	// a transmission it can no longer hear may move its wake earlier
 	// (and one that just started hearing an active carrier, later).
-	c.reresolveWaiters()
+	for _, a := range c.accs {
+		a.CarrierChanged(c)
+	}
 }
 
 func (c *Channel) reachable(from, to *Transceiver) bool {
@@ -135,6 +150,18 @@ func (c *Channel) Utilization() float64 {
 		return 0
 	}
 	return float64(c.Stats.Airtime) / float64(c.sched.Now().Duration())
+}
+
+// AirtimeShare reports the fraction of elapsed time this transceiver
+// spent transmitting (data and MAC control) — the per-station fairness
+// figure E16 reads without reaching into MAC internals. Shares across
+// a channel's stations sum to its Utilization.
+func (t *Transceiver) AirtimeShare() float64 {
+	now := t.ch.sched.Now()
+	if now == 0 {
+		return 0
+	}
+	return float64(t.Stats.Airtime) / float64(now.Duration())
 }
 
 // Waiters reports how many transceivers currently sit on the deferred-
@@ -158,6 +185,7 @@ func (c *Channel) removeWaiter(t *Transceiver) {
 type transmission struct {
 	sender     *Transceiver
 	frame      []byte
+	control    bool // MAC control frame (poll), for overhead accounting
 	start, end sim.Time
 	done       *sim.Event // delivery at end-of-frame; cancelled by Retune
 	// damagedAt marks receivers whose copy is destroyed by overlap.
@@ -176,6 +204,16 @@ type TxStats struct {
 	FramesDamaged  uint64 // frames received damaged
 	CSMADeferrals  uint64 // slot waits due to busy carrier or persistence
 	HalfDuplexMiss uint64 // receptions lost because we were transmitting
+
+	// Fairness accounting, exported so experiments read shares without
+	// reaching into MAC internals. Airtime is this station's transmit
+	// time (data + control); the poll counters are driven by polled
+	// MACs (DAMA) and stay zero under CSMA.
+	Airtime      time.Duration
+	ControlSent  uint64 // MAC control frames this station keyed up
+	PollsSent    uint64 // polls issued while acting as channel master
+	PollsHeard   uint64 // polls addressed to this station and heard
+	PollTimeouts uint64 // polls this station issued that went unanswered
 }
 
 // Params govern channel access for one transceiver, mirroring the KISS
@@ -230,8 +268,9 @@ type Transceiver struct {
 	Params Params
 	Stats  TxStats
 
-	ch *Channel
-	rx func(frame []byte, damaged bool)
+	ch  *Channel
+	rx  func(frame []byte, damaged bool)
+	acc Accessor // channel-access policy; csma unless SetAccessor replaced it
 
 	// csmaRng draws p-persistence decisions, noiseRng the BER survival
 	// of frames received here. Both are private streams seeded from
@@ -266,10 +305,12 @@ func (c *Channel) Attach(name string, params Params) *Transceiver {
 		Name:     name,
 		Params:   params.withDefaults(),
 		ch:       c,
+		acc:      csma,
 		csmaRng:  rand.New(rand.NewSource(c.sched.DeriveSeed())),
 		noiseRng: rand.New(rand.NewSource(c.sched.DeriveSeed())),
 	}
 	c.stations = append(c.stations, t)
+	c.addAccessor(t.acc)
 	return t
 }
 
@@ -298,17 +339,11 @@ func (t *Transceiver) Retune(to *Channel) {
 			break
 		}
 	}
-	// Migrate a pending event-driven deferral: off the old wait-list,
-	// wake cancelled, so contention restarts cleanly on the new
-	// channel below. (A per-slot contender keeps its scheduled contend
-	// closure, which simply finds t.ch pointing at the new channel —
-	// the seed behaviour.)
-	if t.wake != nil {
-		old.removeWaiter(t)
-		old.sched.Cancel(t.wake)
-		t.wake = nil
-		t.contending = false
-	}
+	// The old channel's access policy retires any pending admission
+	// decision (a parked CSMA waiter migrates; a DAMA member leaves the
+	// poll registry — which may reset t's accessor back to CSMA, so the
+	// policy is re-read below when the queue restarts).
+	t.acc.Detach(t)
 	// Cut any transmission in flight: cancel its end-of-frame
 	// completion (which would otherwise clobber the sender's state
 	// while it may already be transmitting on the new channel),
@@ -334,10 +369,14 @@ func (t *Transceiver) Retune(to *Channel) {
 				r.Stats.HalfDuplexMiss++
 				continue
 			}
+			payload, consumed := r.acc.Deliver(r, tx.frame, true)
+			if consumed {
+				continue
+			}
 			r.Stats.FramesDamaged++
 			old.Stats.FramesDamaged++
 			if r.rx != nil {
-				r.rx(append([]byte(nil), tx.frame...), true)
+				r.rx(append([]byte(nil), payload...), true)
 			}
 		}
 	}
@@ -345,7 +384,9 @@ func (t *Transceiver) Retune(to *Channel) {
 		// Early carrier release: waiters whose wake was computed
 		// against the cut transmission's end may now be able to move
 		// earlier.
-		old.reresolveWaiters()
+		for _, a := range old.accs {
+			a.CarrierChanged(old)
+		}
 	}
 	t.transmitting = false
 	t.txStart, t.txEnd = 0, 0
@@ -354,10 +395,12 @@ func (t *Transceiver) Retune(to *Channel) {
 			delete(old.unreachable, pair)
 		}
 	}
+	old.dropAccessor(t.acc)
 	t.ch = to
 	to.stations = append(to.stations, t)
+	to.addAccessor(t.acc)
 	if len(t.queue) > 0 && !t.contending {
-		t.startContention()
+		t.acc.Start(t)
 	}
 }
 
@@ -366,26 +409,14 @@ func (t *Transceiver) SetReceiver(rx func(frame []byte, damaged bool)) { t.rx = 
 
 // SetParams installs new channel-access parameters (the TNC pushes
 // these on KISS parameter frames). Writing the Params field directly
-// is fine while idle; mid-defer, the pending wake and the settlement
-// arithmetic were computed against the old slot grid, so SetParams
-// settles the slots already passed under the old SlotTime and
-// re-anchors contention on the new parameters at the current instant.
+// is fine while idle; with an admission decision outstanding, the
+// access policy re-anchors whatever state it computed against the old
+// values (mid-defer CSMA settles the old slot grid and restarts on the
+// new SlotTime; DAMA has nothing grid-shaped to fix).
 func (t *Transceiver) SetParams(p Params) {
 	old := t.Params
 	t.Params = p
-	if t.wake == nil {
-		return
-	}
-	now := t.ch.sched.Now()
-	if d := now.Sub(t.slot); d > 0 {
-		oldSlot := old.slotTime()
-		// Ceiling division: every old-grid instant strictly before now
-		// passed under busy carrier (the settled-deferral invariant).
-		t.Stats.CSMADeferrals += uint64((d + oldSlot - 1) / oldSlot)
-	}
-	t.slot = now
-	t.ch.sched.Cancel(t.wake)
-	t.wake = t.ch.sched.At(t.firstIdleSlot(now), t.onSlot)
+	t.acc.ParamsChanged(t, old)
 }
 
 // CarrierSense reports whether t currently detects channel activity
@@ -454,7 +485,7 @@ func (t *Transceiver) Send(frame []byte) {
 	t.queue = append(t.queue, append([]byte(nil), frame...))
 	t.Stats.FramesQueued++
 	if !t.contending && !t.transmitting {
-		t.startContention()
+		t.acc.Start(t)
 	}
 }
 
@@ -539,8 +570,9 @@ func (t *Transceiver) onSlot() {
 		}
 	}
 	t.stopContention()
-	t.transmit(t.queue[0])
+	frame := t.queue[0]
 	t.queue = t.queue[1:]
+	t.transmitFrame(frame, false)
 }
 
 // contend runs one step of the seed per-slot polling CSMA
@@ -565,8 +597,9 @@ func (t *Transceiver) contend() {
 		}
 	}
 	t.contending = false
-	t.transmit(t.queue[0])
+	frame := t.queue[0]
 	t.queue = t.queue[1:]
+	t.transmitFrame(frame, false)
 }
 
 // reresolveWaiters recomputes every waiter's wake after an early
@@ -592,20 +625,28 @@ func (c *Channel) reresolveWaiters() {
 	}
 }
 
-func (t *Transceiver) transmit(frame []byte) {
+func (t *Transceiver) transmitFrame(frame []byte, control bool) {
 	c := t.ch
 	now := c.sched.Now()
 	dur := t.Params.TXDelay + c.AirTime(len(frame))
 	tx := &transmission{
 		sender:    t,
 		frame:     frame,
+		control:   control,
 		start:     now,
 		end:       now.Add(dur),
 		damagedAt: make(map[*Transceiver]bool),
 	}
 	t.transmitting = true
 	t.txStart, t.txEnd = tx.start, tx.end
-	t.Stats.FramesSent++
+	if control {
+		t.Stats.ControlSent++
+		c.Stats.ControlFrames++
+		c.Stats.ControlAirtime += dur
+	} else {
+		t.Stats.FramesSent++
+	}
+	t.Stats.Airtime += dur
 	c.Stats.FramesStarted++
 	c.Stats.Airtime += dur
 
@@ -626,17 +667,11 @@ func (t *Transceiver) transmit(frame []byte) {
 		}
 	}
 	c.active = append(c.active, tx)
-	// Carrier edge: waiters whose parked slot the new carrier now
-	// covers slide their wake to the far side of it (never earlier, so
-	// the settled-deferral invariant holds).
-	for _, u := range c.waiters {
-		if u == t || u.wake == nil {
-			continue
-		}
-		w := u.wake.When()
-		if nw := u.firstIdleSlot(w); nw != w {
-			c.sched.Reschedule(u.wake, nw)
-		}
+	// Carrier edge: each access policy on the channel re-resolves the
+	// stations it holds deferred (CSMA slides parked waiters' wakes to
+	// the far side of the new carrier).
+	for _, a := range c.accs {
+		a.KeyUp(c, t)
 	}
 	tx.done = c.sched.At(tx.end, func() { c.complete(tx) })
 }
@@ -672,6 +707,13 @@ func (c *Channel) complete(tx *transmission) {
 				damaged = true
 			}
 		}
+		// The receiver's MAC gets first look: a consumed frame is
+		// channel-access control (a DAMA poll) and never reaches the
+		// host; an unwrapped one continues up with its payload.
+		payload, consumed := r.acc.Deliver(r, tx.frame, damaged)
+		if consumed {
+			continue
+		}
 		if damaged {
 			r.Stats.FramesDamaged++
 			c.Stats.FramesDamaged++
@@ -680,14 +722,13 @@ func (c *Channel) complete(tx *transmission) {
 			c.Stats.FramesHeard++
 		}
 		if r.rx != nil {
-			r.rx(append([]byte(nil), tx.frame...), damaged)
+			r.rx(append([]byte(nil), payload...), damaged)
 		}
 	}
 
-	// Sender may have more queued traffic.
-	if len(sender.queue) > 0 && !sender.contending {
-		sender.startContention()
-	}
+	// Sender may have more queued traffic (or, polled, the rest of its
+	// reserved turn).
+	sender.acc.TxDone(sender)
 }
 
 // pow1m computes (1-ber)^bits without importing math for one call.

@@ -116,7 +116,11 @@ func (t *TNC) SetHostQueueFrames(n int) {
 func (t *TNC) applyParams() {
 	// SetParams, not a field write: a KISS parameter frame can land
 	// while the radio sits mid-defer, and the contention engine must
-	// re-anchor its slot grid on the new SlotTime.
+	// re-anchor its slot grid on the new SlotTime. The channel-access
+	// *policy* (CSMA vs the DAMA controller) is not a KISS parameter at
+	// all — it lives in the transceiver's Accessor, which SetParams
+	// notifies through its ParamsChanged hook, so pushing TNC
+	// parameters never disturbs a port's MAC membership.
 	t.rf.SetParams(radio.Params{
 		TXDelay:    time.Duration(t.params.TXDelay) * 10 * time.Millisecond,
 		SlotTime:   time.Duration(t.params.SlotTime) * 10 * time.Millisecond,

@@ -48,6 +48,20 @@ type LargeConfig struct {
 	// slot contention polling instead of carrier-edge wakeups — the
 	// "before" side of E15's event-count comparison.
 	PerSlotCSMA bool
+
+	// MAC selects the channel-access policy for every station and
+	// gateway (default CSMA). E16 compares the two on one saturated
+	// channel.
+	MAC MACMode
+
+	// AutoARP enables the NOS-style ARP conveniences on every radio
+	// port — glean mappings from received IP frames, accept
+	// unsolicited announcements — plus a periodic gratuitous announce
+	// from each gateway. Off by default so the E14/E15 baselines keep
+	// measuring the original RFC 826 traffic mix; E16 turns it on for
+	// both MACs, because a blocking ARP exchange per station would
+	// otherwise dominate a polled channel's cold start.
+	AutoARP bool
 }
 
 func (cfg LargeConfig) withDefaults() LargeConfig {
@@ -75,8 +89,12 @@ type Large struct {
 	Stations []*Host
 
 	// Replies counts ping replies received per station when
-	// PingInterval traffic is running; Sent counts requests.
+	// PingInterval traffic is running; Sent counts requests. RTTs
+	// collects every reply's round-trip time in arrival order, so
+	// experiments can report latency distributions (E16's median)
+	// without re-instrumenting the traffic loop.
 	Sent, Replies uint64
+	RTTs          []time.Duration
 }
 
 // LargeInternetIP is the Ethernet host of the generated world.
@@ -116,8 +134,12 @@ func NewLarge(cfg LargeConfig) *Large {
 		lw.Channels = append(lw.Channels, ch)
 		gw := w.Host(fmt.Sprintf("gw%d", c+1))
 		gw.AttachEther(lw.Ether, "qe0", LargeGatewayEtherIP(c), ip.MaskClassB)
-		gw.AttachRadio(ch, "pr0", fmt.Sprintf("GW%d", c+1), LargeGatewayRadioIP(c), ip.MaskClassB,
-			RadioConfig{Baud: cfg.Baud, Filter: filter, PerSlotCSMA: cfg.PerSlotCSMA})
+		port := gw.AttachRadio(ch, "pr0", fmt.Sprintf("GW%d", c+1), LargeGatewayRadioIP(c), ip.MaskClassB,
+			RadioConfig{Baud: cfg.Baud, Filter: filter, PerSlotCSMA: cfg.PerSlotCSMA, MAC: cfg.MAC})
+		if cfg.AutoARP {
+			port.Driver.EnableAutoARP()
+			port.Driver.AnnounceARP(5 * time.Minute)
+		}
 		gw.MakeGateway("pr0", "qe0", false)
 		lw.Gateways = append(lw.Gateways, gw)
 	}
@@ -146,8 +168,11 @@ func NewLarge(cfg LargeConfig) *Large {
 	for i := 0; i < cfg.Stations; i++ {
 		c := i % cfg.Channels
 		st := w.Host(fmt.Sprintf("st%d", i))
-		st.AttachRadio(lw.Channels[c], "pr0", fmt.Sprintf("S%d", i), cfg.LargeStationIP(i), ip.MaskClassB,
-			RadioConfig{Baud: cfg.Baud, Filter: filter, PerSlotCSMA: cfg.PerSlotCSMA})
+		port := st.AttachRadio(lw.Channels[c], "pr0", fmt.Sprintf("S%d", i), cfg.LargeStationIP(i), ip.MaskClassB,
+			RadioConfig{Baud: cfg.Baud, Filter: filter, PerSlotCSMA: cfg.PerSlotCSMA, MAC: cfg.MAC})
+		if cfg.AutoARP {
+			port.Driver.EnableAutoARP()
+		}
 		st.Stack.Routes.AddDefault(LargeGatewayRadioIP(c), "pr0")
 		lw.Stations = append(lw.Stations, st)
 	}
@@ -173,8 +198,9 @@ func (lw *Large) startTraffic() {
 		phase := time.Duration(int64(lw.Cfg.PingInterval) * int64(i) / int64(n))
 		lw.W.Sched.After(phase, func() {
 			lw.Sent++
-			id, _ := st.Stack.PingOpen(LargeInternetIP, 32, func(uint16, time.Duration, ip.Addr) {
+			id, _ := st.Stack.PingOpen(LargeInternetIP, 32, func(_ uint16, rtt time.Duration, _ ip.Addr) {
 				lw.Replies++
+				lw.RTTs = append(lw.RTTs, rtt)
 			})
 			seq := uint16(0)
 			lw.W.Sched.Every(lw.Cfg.PingInterval, func() {

@@ -17,6 +17,7 @@ import (
 	"packetradio/internal/acl"
 	"packetradio/internal/ax25"
 	"packetradio/internal/core"
+	"packetradio/internal/dama"
 	"packetradio/internal/ether"
 	"packetradio/internal/ip"
 	"packetradio/internal/ipstack"
@@ -34,9 +35,15 @@ import (
 type World struct {
 	Sched *sim.Scheduler
 
+	// DAMAConfig tunes the controllers DAMA(ch) creates; set it before
+	// the first DAMA port attaches. The zero value takes the package
+	// defaults.
+	DAMAConfig dama.Config
+
 	hosts    map[string]*Host
 	ethers   map[string]*ether.Segment
 	channels map[string]*radio.Channel
+	dama     map[*radio.Channel]*dama.Controller
 }
 
 // New creates an empty world with a deterministic seed.
@@ -46,7 +53,19 @@ func New(seed int64) *World {
 		hosts:    make(map[string]*Host),
 		ethers:   make(map[string]*ether.Segment),
 		channels: make(map[string]*radio.Channel),
+		dama:     make(map[*radio.Channel]*dama.Controller),
 	}
+}
+
+// DAMA creates (or returns) the demand-assigned polling controller for
+// a channel — one master-election domain per frequency.
+func (w *World) DAMA(ch *radio.Channel) *dama.Controller {
+	if c, ok := w.dama[ch]; ok {
+		return c
+	}
+	c := dama.New(ch, w.DAMAConfig)
+	w.dama[ch] = c
+	return c
 }
 
 // Ethernet creates (or returns) a named Ethernet segment.
@@ -107,6 +126,7 @@ type RadioPort struct {
 	RF     *radio.Transceiver
 	Host   *serial.End // host side of the RS-232 line
 	Line   *serial.End // TNC side
+	MAC    MACMode     // the port's channel-access policy (MoveHost re-joins DAMA ports)
 }
 
 // Host creates (or returns) a named host.
@@ -140,6 +160,37 @@ func (h *Host) AttachEther(seg *ether.Segment, ifName string, addr ip.Addr, mask
 	return n
 }
 
+// MACMode selects a channel-access policy for a radio port.
+type MACMode int
+
+const (
+	// MACCSMA is the paper's p-persistent carrier-sense access — the
+	// default, and the only choice 1988 TNC firmware offered.
+	MACCSMA MACMode = iota
+	// MACDAMA joins the port to its channel's demand-assigned polling
+	// controller (internal/dama): collision-free master/slave access
+	// that keeps delivering past the CSMA saturation knee.
+	MACDAMA
+)
+
+func (m MACMode) String() string {
+	if m == MACDAMA {
+		return "dama"
+	}
+	return "csma"
+}
+
+// ParseMACMode maps the prsim-style flag values onto a MACMode.
+func ParseMACMode(s string) (MACMode, error) {
+	switch s {
+	case "", "csma":
+		return MACCSMA, nil
+	case "dama":
+		return MACDAMA, nil
+	}
+	return MACCSMA, fmt.Errorf("unknown MAC %q (want csma or dama)", s)
+}
+
 // RadioConfig tunes an AttachRadio call.
 type RadioConfig struct {
 	Baud     int // serial line speed; 0 = 9600
@@ -147,6 +198,10 @@ type RadioConfig struct {
 	TXDelay  time.Duration // 0 = KISS default (300 ms)
 	Persist  float64       // 0 = KISS default (0.25)
 	SlotTime time.Duration // 0 = KISS default (100 ms)
+
+	// MAC selects the channel-access policy (default CSMA). DAMA ports
+	// share one dama.Controller per channel, created on first use.
+	MAC MACMode
 
 	// PerByteSerial reverts the RS-232 line to the seed's
 	// one-event-per-byte delivery, for burst-equivalence regression
@@ -168,20 +223,32 @@ func (h *Host) AttachRadio(ch *radio.Channel, ifName string, call string, addr i
 	if cfg.PerByteSerial {
 		hostEnd.Line().PerByte = true
 	}
+	// PerSlotCSMA is the seed CSMA regression mode; a DAMA port never
+	// contends, and the per-slot contend closure cannot be retired by
+	// a later Join (it matters for MoveHost mid-queue), so the combo
+	// is meaningless and quietly dangerous — drop it here.
+	perSlot := cfg.PerSlotCSMA && cfg.MAC != MACDAMA
 	rf := ch.Attach(call, radio.Params{
 		TXDelay:     cfg.TXDelay,
 		SlotTime:    cfg.SlotTime,
 		Persist:     cfg.Persist,
-		PerSlotCSMA: cfg.PerSlotCSMA,
+		PerSlotCSMA: perSlot,
 	})
 	t := tnc.New(h.world.Sched, tncEnd, rf, mycall)
 	t.Filter = cfg.Filter
+	// MAC selection rides below the TNC: the KISS firmware still owns
+	// TXDELAY/persistence, but admission — when a queued frame may key
+	// up — is the channel-access policy's. Join after tnc.New so the
+	// TNC's initial KISS parameter push lands on an idle transceiver.
+	if cfg.MAC == MACDAMA {
+		h.world.DAMA(ch).Join(rf)
+	}
 	drv := core.NewPacketRadioIf(h.world.Sched, ifName, hostEnd, mycall, addr, h.Stack)
 	if err := drv.Init(); err != nil {
 		panic(err)
 	}
 	h.Stack.AddInterface(drv, addr, mask)
-	port := &RadioPort{Driver: drv, TNC: t, RF: rf, Host: hostEnd, Line: tncEnd}
+	port := &RadioPort{Driver: drv, TNC: t, RF: rf, Host: hostEnd, Line: tncEnd, MAC: cfg.MAC}
 	h.radios[ifName] = port
 	return port
 }
@@ -301,6 +368,12 @@ func (w *World) MoveHost(host, ifName string, to *radio.Channel) {
 		panic(fmt.Sprintf("world: MoveHost(%q, %q): no such radio port", host, ifName))
 	}
 	port.RF.Retune(to)
+	// A DAMA port re-registers with the destination channel's polling
+	// domain (Retune already detached it from the old controller and
+	// dropped it back to CSMA).
+	if port.MAC == MACDAMA {
+		w.DAMA(to).Join(port.RF)
+	}
 	if h.rtr != nil {
 		h.rtr.SetBitRate(ifName, to.BitRate)
 	}
@@ -362,6 +435,10 @@ type SeattleConfig struct {
 	// PerSlotCSMA runs every radio through the seed's one-event-per-
 	// slot contention polling (CSMA-equivalence regression tests).
 	PerSlotCSMA bool
+
+	// MAC selects the channel-access policy for every radio port
+	// (default CSMA; prsim's -mac flag lands here).
+	MAC MACMode
 }
 
 // GatewayIP is the paper's actual gateway address: "the packet radio
@@ -401,7 +478,7 @@ func NewSeattle(cfg SeattleConfig) *Seattle {
 	gw := w.Host("uw-gw")
 	gw.AttachEther(s.Ether, "qe0", GatewayEtherIP, ip.MaskClassB)
 	gw.AttachRadio(s.Channel, "pr0", "N7AKR", GatewayIP, ip.MaskClassA,
-		RadioConfig{Baud: cfg.Baud, Filter: cfg.TNCFilter, PerByteSerial: cfg.PerByteSerial, PerSlotCSMA: cfg.PerSlotCSMA})
+		RadioConfig{Baud: cfg.Baud, Filter: cfg.TNCFilter, PerByteSerial: cfg.PerByteSerial, PerSlotCSMA: cfg.PerSlotCSMA, MAC: cfg.MAC})
 	s.GatewayGW = gw.MakeGateway("pr0", "qe0", cfg.WithACL)
 	s.Gateway = gw
 
@@ -409,7 +486,7 @@ func NewSeattle(cfg SeattleConfig) *Seattle {
 		gw2 := w.Host("uw-gw2")
 		gw2.AttachEther(s.Ether, "qe0", Gateway2EtherIP, ip.MaskClassB)
 		gw2.AttachRadio(s.Channel, "pr0", "N7BKR", Gateway2IP, ip.MaskClassA,
-			RadioConfig{Baud: cfg.Baud, Filter: cfg.TNCFilter, PerByteSerial: cfg.PerByteSerial, PerSlotCSMA: cfg.PerSlotCSMA})
+			RadioConfig{Baud: cfg.Baud, Filter: cfg.TNCFilter, PerByteSerial: cfg.PerByteSerial, PerSlotCSMA: cfg.PerSlotCSMA, MAC: cfg.MAC})
 		s.Gateway2GW = gw2.MakeGateway("pr0", "qe0", cfg.WithACL)
 		s.Gateway2 = gw2
 	}
@@ -429,7 +506,7 @@ func NewSeattle(cfg SeattleConfig) *Seattle {
 	for i := 0; i < cfg.NumPCs; i++ {
 		pc := w.Host(fmt.Sprintf("pc%d", i+1))
 		pc.AttachRadio(s.Channel, "pr0", PCCall(i), PCIP(i), ip.MaskClassA,
-			RadioConfig{Baud: cfg.Baud, PerByteSerial: cfg.PerByteSerial, PerSlotCSMA: cfg.PerSlotCSMA})
+			RadioConfig{Baud: cfg.Baud, PerByteSerial: cfg.PerByteSerial, PerSlotCSMA: cfg.PerSlotCSMA, MAC: cfg.MAC})
 		// Everything off net 44 goes via the gateway's radio address.
 		if !cfg.NoStaticRoutes {
 			pc.Stack.Routes.AddDefault(GatewayIP, "pr0")

@@ -20,6 +20,24 @@ import (
 	"packetradio/internal/world"
 )
 
+// macCell measures one E16 cell (N stations, one channel, one MAC) for
+// the bench JSON. Every field is deterministic.
+func macCell(n int, mac world.MACMode) map[string]float64 {
+	pt := experiments.MACRun(n, mac)
+	return map[string]float64{
+		"sent":             float64(pt.Sent),
+		"replies":          float64(pt.Replies),
+		"delivery_ratio":   pt.Delivery,
+		"median_rtt_ms":    float64(pt.MedianRTT) / float64(time.Millisecond),
+		"events_per_sim_s": pt.EventsPerSimS,
+		"collisions":       float64(pt.Collisions),
+		"deferrals":        float64(pt.Deferrals),
+		"polls":            float64(pt.PollsSent),
+		"poll_timeouts":    float64(pt.PollTimeouts),
+		"control_share":    pt.ControlShare,
+	}
+}
+
 // preBurstSeattlePingNs is BenchmarkSeattlePing at the commit before
 // the burst-mode datapath landed (per-byte serial events, allocating
 // scheduler), measured on the same class of machine that produced the
@@ -108,6 +126,23 @@ func TestWriteSimCoreBench(t *testing.T) {
 		}
 	}
 
+	// E16: the DAMA-vs-CSMA single-channel sweep. The acceptance bar
+	// for the MAC subsystem is delivery strictly ahead at N=100, and a
+	// collision-free channel at every saturation level.
+	mac := map[string]any{}
+	for _, n := range []int{10, 50, 100, 200} {
+		c := macCell(n, world.MACCSMA)
+		d := macCell(n, world.MACDAMA)
+		if n == 100 && d["replies"] <= c["replies"] {
+			t.Fatalf("N=100: DAMA delivered %.0f replies vs CSMA %.0f — the knee did not lift",
+				d["replies"], c["replies"])
+		}
+		if d["collisions"] != 0 {
+			t.Fatalf("N=%d: DAMA channel recorded %.0f collision pairs, want 0", n, d["collisions"])
+		}
+		mac[fmt.Sprintf("n%d", n)] = map[string]any{"csma": c, "dama": d}
+	}
+
 	report := map[string]any{
 		"description":                              "simulator-core benchmarks: ns values are wall time on the machine that last regenerated this file; events/op values are deterministic",
 		"seattle_ping_ns_per_op_pre_burst":         preBurstSeattlePingNs,
@@ -117,6 +152,7 @@ func TestWriteSimCoreBench(t *testing.T) {
 		"seattle_ping_events_per_op_per_byte_path": perByteEvents,
 		"scheduler_allocs_per_op":                  allocs,
 		"e14_scaling":                              scaling,
+		"e16_mac":                                  mac,
 	}
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
