@@ -1,27 +1,97 @@
 // Kissdump decodes a KISS byte stream (hex on stdin, or -x "c0 00 ..")
 // into AX.25 frames, printing one monitor-style line per frame — the
-// offline equivalent of watching the paper's serial line.
+// offline equivalent of watching the paper's serial line. With -r it
+// instead reads a pcap capture written by the simulator (prsim -pcap,
+// world.CapturePort / CaptureIP), either link type, and prints each
+// record with its virtual timestamp.
 //
 // Usage:
 //
 //	echo 'c0 00 96 88 6e 9c 9a 40 e0 ... c0' | kissdump
 //	kissdump -x 'c000...c0'
+//	kissdump -r gw.pcap
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"packetradio/internal/ax25"
+	"packetradio/internal/ip"
 	"packetradio/internal/kiss"
+	"packetradio/internal/obs"
 )
+
+// dumpPcap prints every record of a simulator pcap capture, one
+// timestamped line per frame, and reports how many it printed.
+func dumpPcap(r io.Reader, w io.Writer) (int, error) {
+	linkType, pkts, err := obs.ReadPcap(r)
+	if err != nil {
+		return 0, err
+	}
+	for i, p := range pkts {
+		t := p.T.Seconds()
+		switch linkType {
+		case obs.LinkTypeAX25KISS:
+			if len(p.Data) == 0 {
+				fmt.Fprintf(w, "%10.3f %3d: empty record\n", t, i+1)
+				continue
+			}
+			cmd, body := p.Data[0], p.Data[1:]
+			if cmd != kiss.CmdData {
+				fmt.Fprintf(w, "%10.3f %3d: KISS cmd %#x % x\n", t, i+1, cmd, body)
+				continue
+			}
+			fr, err := ax25.Decode(body)
+			if err != nil {
+				fmt.Fprintf(w, "%10.3f %3d: undecodable AX.25 (%v): % x\n", t, i+1, err, body)
+				continue
+			}
+			fmt.Fprintf(w, "%10.3f %3d: %v\n", t, i+1, fr)
+			if len(fr.Info) > 0 {
+				fmt.Fprintf(w, "           info: % x\n", fr.Info)
+			}
+		case obs.LinkTypeRaw:
+			pkt, err := ip.Unmarshal(p.Data)
+			if err != nil {
+				fmt.Fprintf(w, "%10.3f %3d: undecodable IP (%v): % x\n", t, i+1, err, p.Data)
+				continue
+			}
+			fmt.Fprintf(w, "%10.3f %3d: %v\n", t, i+1, pkt)
+		default:
+			fmt.Fprintf(w, "%10.3f %3d: linktype %d, % x\n", t, i+1, linkType, p.Data)
+		}
+	}
+	return len(pkts), nil
+}
 
 func main() {
 	hexArg := flag.String("x", "", "hex KISS stream (otherwise read from stdin)")
+	pcapArg := flag.String("r", "", "read a pcap capture file instead of a hex stream")
 	flag.Parse()
+
+	if *pcapArg != "" {
+		f, err := os.Open(*pcapArg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kissdump:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		n, err := dumpPcap(f, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kissdump:", err)
+			os.Exit(1)
+		}
+		if n == 0 {
+			fmt.Fprintln(os.Stderr, "kissdump: capture holds no records")
+			os.Exit(1)
+		}
+		return
+	}
 
 	var hexText string
 	if *hexArg != "" {

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"packetradio/internal/ax25"
+	"packetradio/internal/ip"
+	"packetradio/internal/obs"
+	"packetradio/internal/sim"
+)
+
+// TestDumpPcapRoundTrip writes captures with the same writer the
+// simulator uses and checks kissdump decodes its own output — both
+// link types, timestamps in virtual seconds.
+func TestDumpPcapRoundTrip(t *testing.T) {
+	frame := ax25.NewUI(ax25.MustAddr("N7AKR"), ax25.MustAddr("PC1"), ax25.PIDIP, []byte{0xde, 0xad})
+	enc, err := frame.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	pw, err := obs.NewPcapWriter(&buf, obs.LinkTypeAX25KISS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := append([]byte{0}, enc...) // KISS data command + bare AX.25
+	pw.WritePacket(sim.Time(1500*time.Millisecond), rec)
+	pw.WritePacket(sim.Time(2*time.Second), []byte{0x01, 0x32}) // TXDELAY param frame
+	if pw.Err() != nil {
+		t.Fatal(pw.Err())
+	}
+
+	var out strings.Builder
+	n, err := dumpPcap(bytes.NewReader(buf.Bytes()), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("decoded %d records, want 2", n)
+	}
+	text := out.String()
+	for _, want := range []string{"PC1>N7AKR", "1.500", "2.000", "KISS cmd 0x1"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("dump output missing %q:\n%s", want, text)
+		}
+	}
+
+	// DLT_RAW: records are bare IP datagrams.
+	pkt := &ip.Packet{
+		Header: ip.Header{
+			Src: ip.MustAddr("44.24.0.10"), Dst: ip.MustAddr("128.95.1.2"),
+			Proto: ip.ProtoICMP, TTL: 30,
+		},
+		Payload: []byte{8, 0, 0, 0, 0, 1, 0, 7},
+	}
+	raw, err := pkt.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	pw, err = obs.NewPcapWriter(&buf, obs.LinkTypeRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw.WritePacket(sim.Time(time.Minute), raw)
+
+	out.Reset()
+	n, err = dumpPcap(bytes.NewReader(buf.Bytes()), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("decoded %d records, want 1", n)
+	}
+	if !strings.Contains(out.String(), "44.24.0.10") || !strings.Contains(out.String(), "60.000") {
+		t.Errorf("raw dump missing addresses or timestamp:\n%s", out.String())
+	}
+}

@@ -9,6 +9,16 @@
 //	prsim -bps 9600 -pcs 4 -acl    # faster channel, more PCs, §4.3 ACL
 //	prsim -load 60                 # add 60% background channel load
 //	prsim -mac dama -pcs 8         # polled access instead of CSMA
+//
+// The observability layer (internal/obs) hangs off flags that work in
+// both modes:
+//
+//	prsim -pcap gw.pcap -filter "icmp"   # capture the gateway's KISS seam
+//	prsim -trace run.json                # scheduler flight recorder -> Chrome trace
+//	prsim -metrics run.csv -netstat      # 1 Hz metric samples + final netstat -s
+//	prsim -stations 100 -mac dama        # E16-style scale world: N stations on
+//	                                     # one channel, with a per-layer fate
+//	                                     # ledger explaining every lost ping
 package main
 
 import (
@@ -20,11 +30,89 @@ import (
 
 	"packetradio/internal/ax25"
 	"packetradio/internal/ip"
+	"packetradio/internal/obs"
 	"packetradio/internal/radio"
 	"packetradio/internal/tcp"
 	"packetradio/internal/telnet"
 	"packetradio/internal/world"
 )
+
+// obsFlags are the observability attachments shared by the Seattle and
+// scale modes.
+type obsFlags struct {
+	netstat bool
+	pcap    string
+	filter  string
+	trace   string
+	metrics string
+}
+
+// attach wires the requested observers into a built world (gwHost
+// names the host whose pr0 KISS seam the pcap tap watches) and returns
+// a finish func that flushes files and prints the end-of-run reports.
+func (o *obsFlags) attach(w *world.World, gwHost string) (func(), error) {
+	var finishers []func()
+	var flt *obs.Filter
+	if o.filter != "" {
+		f, err := obs.ParseFilter(o.filter)
+		if err != nil {
+			return nil, err
+		}
+		flt = f
+	}
+	if o.pcap != "" {
+		f, err := os.Create(o.pcap)
+		if err != nil {
+			return nil, err
+		}
+		pw, err := w.CapturePort(gwHost, "pr0", f, flt)
+		if err != nil {
+			return nil, err
+		}
+		finishers = append(finishers, func() {
+			fmt.Printf("# pcap: %d frames -> %s\n", pw.Count(), o.pcap)
+			f.Close()
+		})
+	}
+	if o.trace != "" {
+		fr := w.EnableFlightRecorder(0)
+		finishers = append(finishers, func() {
+			f, err := os.Create(o.trace)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			fr.WriteTrace(f)
+			f.Close()
+			fmt.Printf("# trace: %d events (%d overwritten) -> %s\n", fr.Len(), fr.Dropped(), o.trace)
+		})
+	}
+	if o.metrics != "" {
+		reg := w.Registry()
+		reg.StartSampling(w.Sched, time.Second)
+		finishers = append(finishers, func() {
+			f, err := os.Create(o.metrics)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			reg.WriteCSV(f)
+			f.Close()
+			fmt.Printf("# metrics: %d series -> %s\n", reg.Len(), o.metrics)
+		})
+	}
+	if o.netstat {
+		finishers = append(finishers, func() {
+			fmt.Println("# netstat -s:")
+			w.Netstat(os.Stdout, "")
+		})
+	}
+	return func() {
+		for _, f := range finishers {
+			f()
+		}
+	}, nil
+}
 
 func main() {
 	bps := flag.Int("bps", 1200, "radio channel bit rate")
@@ -36,6 +124,13 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	quiet := flag.Bool("q", false, "suppress the frame monitor")
 	macFlag := flag.String("mac", "csma", "channel access: csma (p-persistent) or dama (polled)")
+	stations := flag.Int("stations", 0, "scale mode: N stations on one channel with a ping-fate ledger (0 = Seattle scenario)")
+	var of obsFlags
+	flag.BoolVar(&of.netstat, "netstat", false, "print every metric in the registry at the end of the run")
+	flag.StringVar(&of.pcap, "pcap", "", "capture the gateway's KISS seam to this pcap file")
+	flag.StringVar(&of.filter, "filter", "", "pcap capture filter, e.g. \"icmp or host 44.24.0.10\"")
+	flag.StringVar(&of.trace, "trace", "", "record scheduler+MAC events to this Chrome trace JSON file")
+	flag.StringVar(&of.metrics, "metrics", "", "sample every metric at 1 Hz of virtual time to this CSV file")
 	flag.Parse()
 
 	mac, err := world.ParseMACMode(*macFlag)
@@ -44,9 +139,20 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *stations > 0 {
+		runScale(*stations, mac, *seed, *bps, *dur, &of)
+		return
+	}
+
 	s := world.NewSeattle(world.SeattleConfig{
 		Seed: *seed, NumPCs: *pcs, BitRate: *bps, Baud: *baud, WithACL: *acl, MAC: mac,
 	})
+	finish, err := of.attach(s.W, "uw-gw")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer finish()
 
 	if !*quiet {
 		s.Gateway.Radio("pr0").Driver.Monitor = func(dir string, f *ax25.Frame) {
@@ -108,6 +214,36 @@ func main() {
 		fmt.Printf("# acl: %+v\n", s.GatewayGW.ACL.Stats)
 	}
 	_ = os.Stdout
+}
+
+// runScale is the E16-style scale mode: N stations share ONE channel
+// behind one gateway, each pinging the Internet host once a minute,
+// with an obs.PingLedger watching every seam. At the end it accounts
+// for every ping ever sent — delivered, lost to a named drop reason,
+// or still pending at a named stage.
+func runScale(n int, mac world.MACMode, seed int64, bps int, dur time.Duration, of *obsFlags) {
+	lw := world.NewLarge(world.LargeConfig{
+		Seed: seed, Stations: n, Channels: 1, BitRate: bps,
+		PingInterval: time.Minute, MAC: mac,
+	})
+	ledger := lw.W.AttachPingLedger()
+	finish, err := of.attach(lw.W, "gw1")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Printf("# scale mode: %d stations, one %d bps channel, mac=%v, 60 s ping interval\n", n, bps, mac)
+	lw.W.Run(30 * time.Second) // warm-up: ARP, first ping wave, DAMA election
+	lw.W.Run(dur)
+
+	fmt.Printf("# pings: sent=%d replies=%d delivery=%.0f%%\n",
+		lw.Sent, lw.Replies, lw.DeliveryRatio()*100)
+	ch := lw.Channels[0]
+	fmt.Printf("# channel: utilization=%.1f%% collisions=%d\n",
+		ch.Utilization()*100, ch.Stats.CollisionPairs)
+	fmt.Println("# ping fates (first thing that went wrong, most common first):")
+	ledger.WriteFates(os.Stdout)
+	finish()
 }
 
 func addChatter(s *world.Seattle, loadPct int) {

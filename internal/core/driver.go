@@ -107,6 +107,18 @@ type PacketRadioIf struct {
 	// traffic flows.
 	AutoARP bool
 
+	// Tap, when non-nil, observes every KISS frame crossing the serial
+	// seam, in DLT_AX25_KISS dress: the command byte followed by the
+	// unescaped payload. dir is "rx" (TNC→host) or "tx" (host→TNC);
+	// dropped output (OutDrops) never crossed the seam and is not
+	// tapped. The callback must not retain the slice.
+	Tap func(dir string, kissFrame []byte)
+
+	// OnDrop, when non-nil, observes frames the driver discards with a
+	// reason ("ipq overflow", "serial queue overflow"); frame is the
+	// AX.25 frame body. The callback must not retain the slice.
+	OnDrop func(reason string, frame []byte)
+
 	DStats DriverStats
 
 	name  string
@@ -224,6 +236,11 @@ func (d *PacketRadioIf) interruptRun(p []byte) {
 // kissFrame fires when the decoder has assembled a complete frame.
 func (d *PacketRadioIf) kissFrame(kf kiss.Frame) {
 	d.DStats.KISSFrames++
+	if d.Tap != nil {
+		rec := make([]byte, 0, 1+len(kf.Payload))
+		rec = append(rec, byte(kf.Command))
+		d.Tap("rx", append(rec, kf.Payload...))
+	}
 	if kf.Command != kiss.CmdData {
 		return // TNC-bound parameters never come from the TNC
 	}
@@ -263,6 +280,9 @@ func (d *PacketRadioIf) kissFrame(kf kiss.Frame) {
 		if !d.ipq.Enqueue(append([]byte(nil), f.Info...)) {
 			d.DStats.IPQDrops++
 			d.stats.Iqdrops++
+			if d.OnDrop != nil {
+				d.OnDrop("ipq overflow", kf.Payload)
+			}
 			return
 		}
 		d.DStats.IPIn++
@@ -418,7 +438,15 @@ func (d *PacketRadioIf) writeKISS(frame []byte) error {
 	if d.ser.QueueLen()+len(enc) > d.OutQueueBytes {
 		d.DStats.OutDrops++
 		d.stats.Oerrors++
+		if d.OnDrop != nil {
+			d.OnDrop("serial queue overflow", frame)
+		}
 		return nil // dropped, as IF_DROP does: not an error to the caller
+	}
+	if d.Tap != nil {
+		rec := make([]byte, 0, 1+len(frame))
+		rec = append(rec, 0) // KISS data command
+		d.Tap("tx", append(rec, frame...))
 	}
 	d.stats.Opackets++
 	d.stats.Obytes += uint64(len(frame))

@@ -166,6 +166,12 @@ type member struct {
 type Controller struct {
 	Stats Stats
 
+	// Trace, when non-nil, observes protocol transitions for the
+	// flight recorder: events are "master", "abdicate", "poll",
+	// "poll-timeout", "demote"; who is the station concerned. Purely
+	// read-side — the callback must not touch the controller.
+	Trace func(event, who string)
+
 	cfg   Config
 	ch    *radio.Channel
 	sched *sim.Scheduler
@@ -317,6 +323,7 @@ func (c *Controller) becomeMaster(m *member) {
 	// slave-turn budget belongs to a poll that no longer stands.
 	m.quiet, m.budget = 0, 0
 	c.Stats.Elections++
+	c.trace("master", m.rf.Name)
 	if m.rf.Transmitting() {
 		// Elected mid-own-transmission (possible only for a station
 		// that was just polled): pick the cycle up at TxDone.
@@ -336,7 +343,15 @@ func (c *Controller) abdicate(m *member) {
 		m.act = nil
 	}
 	c.Stats.Abdications++
+	c.trace("abdicate", m.rf.Name)
 	c.resetElect(m)
+}
+
+// trace reports a protocol transition to the Trace hook, if any.
+func (c *Controller) trace(event, who string) {
+	if c.Trace != nil {
+		c.Trace(event, who)
+	}
 }
 
 // step is the master's scheduling decision point: own data first (up
@@ -469,6 +484,7 @@ func (c *Controller) sendPoll(m, s *member) {
 		return
 	}
 	m.rf.Stats.PollsSent++
+	c.trace("poll", s.rf.Name)
 }
 
 // respWindow is the worst-case wait for one response frame from s:
@@ -485,10 +501,12 @@ func (c *Controller) pollTimeout(m *member) {
 	m.rf.Stats.PollTimeouts++
 	m.quiet++
 	if s := m.polled; s != nil {
+		c.trace("poll-timeout", s.rf.Name)
 		s.misses++
 		if s.misses == c.cfg.MaxMisses && s.demand > 0 {
 			s.demand = 0
 			c.Stats.Demotions++
+			c.trace("demote", s.rf.Name)
 		}
 		m.polled = nil
 	}

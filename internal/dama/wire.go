@@ -64,6 +64,19 @@ func encodeData(src string, demand uint16, last bool, payload []byte) []byte {
 // per-frame airtime cost of demand piggybacking.
 func dataHdrLen(src string) int { return 3 + 1 + len(src) + 3 }
 
+// Unwrap strips the DAMA demand header off a wrapped data frame,
+// returning the inner AX.25 bytes and true; for control frames and
+// anything that is not DAMA-framed it returns (nil, false). This is
+// the observability seam: a capture tap or ping ledger looking at raw
+// on-air bytes uses it to see the frame a slave's TNC actually queued.
+func Unwrap(b []byte) ([]byte, bool) {
+	kind, _, _, _, _, payload, ok := decode(b)
+	if !ok || kind != kData {
+		return nil, false
+	}
+	return payload, true
+}
+
 // decode classifies a heard frame. ok is false for anything that is
 // not a well-formed DAMA frame (the master's unwrapped data, foreign
 // traffic, or truncation garbage — all passed through untouched).

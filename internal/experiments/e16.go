@@ -28,6 +28,13 @@ type MACPoint struct {
 	ControlShare float64 // DAMA: control airtime / total airtime
 	Collisions   uint64  // overlapping-transmission pairs
 	Utilization  float64
+
+	// Fates explains every ping by its outcome — "delivered", or for
+	// the rest the first thing that went wrong ("req: collision",
+	// "pending: rep in gateway queue", ...), from the obs.PingLedger
+	// attached to the run. The counts sum to Sent and the "delivered"
+	// bucket equals Replies, so nothing escapes the accounting.
+	Fates map[string]int
 }
 
 // macMemo mirrors scaleMemo: E16, the bench writer and the CI event
@@ -63,12 +70,15 @@ func macRunFresh(n int, mac world.MACMode) MACPoint {
 		Channels:     1,
 		PingInterval: time.Minute,
 		MAC:          mac,
-		// Both MACs get the NOS-style ARP conveniences: without them a
-		// blocking request/reply exchange per station dominates the
-		// polled channel's cold start, and the comparison would mostly
-		// measure ARP, not channel access.
-		AutoARP: true,
+		// Scale worlds default to the NOS-style ARP conveniences:
+		// without them a blocking request/reply exchange per station
+		// dominates the polled channel's cold start, and the
+		// comparison would mostly measure ARP, not channel access.
 	})
+	// The ledger watches from t=0 so every ping ever sent is accounted
+	// for; its taps schedule no events, so the CI event gate still pins
+	// the same counts.
+	ledger := lw.W.AttachPingLedger()
 	// Warm-up covers ARP, the first ping wave, and (under DAMA) the
 	// gateway's master election.
 	lw.W.Run(30 * time.Second)
@@ -100,6 +110,7 @@ func macRunFresh(n int, mac world.MACMode) MACPoint {
 		pt.PollsSent += rf.Stats.PollsSent
 		pt.PollTimeouts += rf.Stats.PollTimeouts
 	}
+	pt.Fates = ledger.Fates()
 	return pt
 }
 
@@ -149,5 +160,50 @@ func E16(w io.Writer) *Result {
 	fmt.Fprintln(w, "   (one channel on purpose: N sweeps stations-per-channel through the E15 knee;")
 	fmt.Fprintln(w, "    DAMA's zero collision column is the collision-free-by-construction argument,")
 	fmt.Fprintln(w, "    and its control overhead is the price of owning the schedule)")
+
+	// The ledger's answer to "where did the missing pings go": every
+	// undelivered ping at the saturation-knee cell, by the first thing
+	// that went wrong with it. The counts sum to sent minus replies —
+	// no ping goes unexplained.
+	fmt.Fprintln(w, "\n   N=100 undelivered-ping fates (obs.PingLedger):")
+	for _, mp := range []struct {
+		mac string
+		pt  MACPoint
+	}{{"csma", MACRun(100, world.MACCSMA)}, {"dama", MACRun(100, world.MACDAMA)}} {
+		fmt.Fprintf(w, "     %s: %d sent, %d delivered, %d undelivered\n",
+			mp.mac, mp.pt.Sent, mp.pt.Replies, mp.pt.Sent-mp.pt.Replies)
+		for _, fc := range sortedFates(mp.pt.Fates) {
+			if fc.reason == "delivered" {
+				continue
+			}
+			fmt.Fprintf(w, "       %5d  %s\n", fc.n, fc.reason)
+			r.set(fmt.Sprintf("fate_%s_n100[%s]", mp.mac, fc.reason), float64(fc.n))
+		}
+	}
 	return r
+}
+
+// sortedFates orders a fate map most-common-first (ties by name) for
+// stable printing.
+func sortedFates(fates map[string]int) []struct {
+	reason string
+	n      int
+} {
+	out := make([]struct {
+		reason string
+		n      int
+	}, 0, len(fates))
+	for reason, n := range fates {
+		out = append(out, struct {
+			reason string
+			n      int
+		}{reason, n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].n != out[j].n {
+			return out[i].n > out[j].n
+		}
+		return out[i].reason < out[j].reason
+	})
+	return out
 }

@@ -55,6 +55,7 @@ type Stats struct {
 	EchoReplies  uint64
 	ICMPIn       uint64
 	ICMPOut      uint64
+	FragDrops    uint64 // datagrams unfragmentable for the output MTU
 }
 
 type ifEntry struct {
@@ -339,6 +340,7 @@ func (s *Stack) transmit(pkt *ip.Packet, ent *route.Entry, dir, ifName string) {
 	}
 	frags, err := ip.Fragment(pkt, e.ifc.MTU())
 	if err != nil {
+		s.Stats.FragDrops++
 		if errors.Is(err, ip.ErrFragmentDF) {
 			s.sendICMPError(icmp.TypeDestUnreachable, icmp.CodeFragNeeded, pkt)
 		}

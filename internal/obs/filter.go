@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"packetradio/internal/ip"
+)
+
+// Filter is the BPF-lite capture filter: a disjunction of
+// conjunctions over a handful of IP-level predicates, enough to say
+// "this host's traffic" or "icmp or port 23" at a tap point without
+// dragging in a real BPF machine.
+//
+// Grammar (case-insensitive keywords, no parentheses):
+//
+//	expr := conj { "or" conj }
+//	conj := pred { ["and"] pred }
+//	pred := ["not"] ( "host" ADDR | "src" ADDR | "dst" ADDR
+//	                | "proto" N | "icmp" | "tcp" | "udp" | "port" N )
+//
+// host matches either address; port matches either TCP/UDP port (and
+// only on unfragmented first fragments, where the transport header is
+// present). An empty expression matches everything.
+type Filter struct {
+	alts [][]pred // OR of ANDs
+	src  string
+}
+
+type pred struct {
+	neg  bool
+	kind byte // 'h' host, 's' src, 'd' dst, 'p' proto, 'P' port
+	addr ip.Addr
+	num  uint16
+}
+
+// ParseFilter compiles a filter expression; empty input returns a
+// match-all filter.
+func ParseFilter(s string) (*Filter, error) {
+	f := &Filter{src: s}
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return f, nil
+	}
+	conj := []pred{}
+	i := 0
+	next := func() (string, bool) {
+		if i >= len(fields) {
+			return "", false
+		}
+		w := strings.ToLower(fields[i])
+		i++
+		return w, true
+	}
+	for {
+		w, ok := next()
+		if !ok {
+			break
+		}
+		if w == "or" {
+			if len(conj) == 0 {
+				return nil, fmt.Errorf("obs: filter %q: dangling \"or\"", s)
+			}
+			f.alts = append(f.alts, conj)
+			conj = []pred{}
+			continue
+		}
+		if w == "and" {
+			continue // conjunction is the default
+		}
+		var p pred
+		if w == "not" {
+			p.neg = true
+			if w, ok = next(); !ok {
+				return nil, fmt.Errorf("obs: filter %q: dangling \"not\"", s)
+			}
+		}
+		switch w {
+		case "host", "src", "dst":
+			arg, ok := next()
+			if !ok {
+				return nil, fmt.Errorf("obs: filter %q: %q needs an address", s, w)
+			}
+			a, err := ip.ParseAddr(arg)
+			if err != nil {
+				return nil, fmt.Errorf("obs: filter %q: %v", s, err)
+			}
+			p.kind, p.addr = w[0], a // 'h', 's', 'd'
+			if w == "host" {
+				p.kind = 'h'
+			}
+		case "proto":
+			arg, ok := next()
+			if !ok {
+				return nil, fmt.Errorf("obs: filter %q: \"proto\" needs a number or name", s)
+			}
+			n, err := protoNumber(arg)
+			if err != nil {
+				return nil, fmt.Errorf("obs: filter %q: %v", s, err)
+			}
+			p.kind, p.num = 'p', n
+		case "icmp", "tcp", "udp":
+			n, _ := protoNumber(w)
+			p.kind, p.num = 'p', n
+		case "port":
+			arg, ok := next()
+			if !ok {
+				return nil, fmt.Errorf("obs: filter %q: \"port\" needs a number", s)
+			}
+			n, err := strconv.ParseUint(arg, 10, 16)
+			if err != nil {
+				return nil, fmt.Errorf("obs: filter %q: bad port %q", s, arg)
+			}
+			p.kind, p.num = 'P', uint16(n)
+		default:
+			return nil, fmt.Errorf("obs: filter %q: unknown keyword %q", s, w)
+		}
+		conj = append(conj, p)
+	}
+	if len(conj) > 0 {
+		f.alts = append(f.alts, conj)
+	}
+	return f, nil
+}
+
+func protoNumber(s string) (uint16, error) {
+	switch s {
+	case "icmp":
+		return ip.ProtoICMP, nil
+	case "tcp":
+		return ip.ProtoTCP, nil
+	case "udp":
+		return ip.ProtoUDP, nil
+	}
+	n, err := strconv.ParseUint(s, 10, 8)
+	if err != nil {
+		return 0, fmt.Errorf("bad protocol %q", s)
+	}
+	return uint16(n), nil
+}
+
+func (f *Filter) String() string { return f.src }
+
+// Match evaluates the filter against a parsed datagram. A nil filter
+// (or one parsed from the empty string) matches everything; a nil
+// packet matches only such a match-all filter, so callers can pass nil
+// for records that carry no IP datagram at all.
+func (f *Filter) Match(pkt *ip.Packet) bool {
+	if f == nil || len(f.alts) == 0 {
+		return true
+	}
+	if pkt == nil {
+		return false
+	}
+	for _, conj := range f.alts {
+		ok := true
+		for _, p := range conj {
+			if p.eval(pkt) == p.neg {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// MatchRaw unmarshals and matches a raw datagram; undecodable packets
+// only pass a match-all filter.
+func (f *Filter) MatchRaw(buf []byte) bool {
+	if f == nil || len(f.alts) == 0 {
+		return true
+	}
+	pkt, err := ip.Unmarshal(buf)
+	if err != nil {
+		return false
+	}
+	return f.Match(pkt)
+}
+
+func (p pred) eval(pkt *ip.Packet) bool {
+	switch p.kind {
+	case 'h':
+		return pkt.Src == p.addr || pkt.Dst == p.addr
+	case 's':
+		return pkt.Src == p.addr
+	case 'd':
+		return pkt.Dst == p.addr
+	case 'p':
+		return uint16(pkt.Proto) == p.num
+	case 'P':
+		if pkt.FragOff != 0 || (pkt.Proto != ip.ProtoTCP && pkt.Proto != ip.ProtoUDP) {
+			return false
+		}
+		if len(pkt.Payload) < 4 {
+			return false
+		}
+		sp := uint16(pkt.Payload[0])<<8 | uint16(pkt.Payload[1])
+		dp := uint16(pkt.Payload[2])<<8 | uint16(pkt.Payload[3])
+		return sp == p.num || dp == p.num
+	}
+	return false
+}

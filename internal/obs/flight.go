@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"packetradio/internal/sim"
+)
+
+// FlightEvent is one entry in the flight recorder: a timestamped,
+// categorized instant (a scheduler event firing, a MAC transition, a
+// DAMA protocol step).
+type FlightEvent struct {
+	T    sim.Time
+	Cat  string // "sched", "mac", "dama", ...
+	Name string
+	Arg  string
+}
+
+// FlightRecorder is a bounded ring of recent events — the post-mortem
+// instrument: always cheap enough to leave running, dumped on test
+// failure or on demand. All methods are nil-safe so call sites can
+// hold a recorder pointer that is nil when recording is off.
+type FlightRecorder struct {
+	buf     []FlightEvent
+	next    int
+	full    bool
+	dropped uint64
+}
+
+// DefaultFlightCap is the default ring capacity: enough for several
+// seconds of a saturated channel's scheduler activity.
+const DefaultFlightCap = 4096
+
+// NewFlightRecorder builds a recorder holding the last capacity
+// events (<=0 takes DefaultFlightCap).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = DefaultFlightCap
+	}
+	return &FlightRecorder{buf: make([]FlightEvent, capacity)}
+}
+
+// Record appends one event, overwriting the oldest when full.
+func (fr *FlightRecorder) Record(t sim.Time, cat, name, arg string) {
+	if fr == nil {
+		return
+	}
+	if fr.full {
+		fr.dropped++
+	}
+	fr.buf[fr.next] = FlightEvent{T: t, Cat: cat, Name: name, Arg: arg}
+	fr.next++
+	if fr.next == len(fr.buf) {
+		fr.next = 0
+		fr.full = true
+	}
+}
+
+// SchedHook adapts the recorder to sim.Scheduler.EventHook: every
+// fired event becomes a "sched" entry (named events keep their name).
+func (fr *FlightRecorder) SchedHook() func(t sim.Time, name string) {
+	return func(t sim.Time, name string) {
+		if name == "" {
+			name = "event"
+		}
+		fr.Record(t, "sched", name, "")
+	}
+}
+
+// Len reports how many events are held.
+func (fr *FlightRecorder) Len() int {
+	if fr == nil {
+		return 0
+	}
+	if fr.full {
+		return len(fr.buf)
+	}
+	return fr.next
+}
+
+// Dropped reports how many events were overwritten.
+func (fr *FlightRecorder) Dropped() uint64 {
+	if fr == nil {
+		return 0
+	}
+	return fr.dropped
+}
+
+// Events returns the held events oldest-first.
+func (fr *FlightRecorder) Events() []FlightEvent {
+	if fr == nil {
+		return nil
+	}
+	if !fr.full {
+		return append([]FlightEvent(nil), fr.buf[:fr.next]...)
+	}
+	out := make([]FlightEvent, 0, len(fr.buf))
+	out = append(out, fr.buf[fr.next:]...)
+	return append(out, fr.buf[:fr.next]...)
+}
+
+// traceEvent is the Chrome trace_event JSON shape ("i" = instant).
+type traceEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat"`
+	Phase string            `json:"ph"`
+	TS    float64           `json:"ts"` // microseconds
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Scope string            `json:"s,omitempty"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// WriteTrace dumps the ring as Chrome trace_event JSON: open the file
+// at chrome://tracing (or ui.perfetto.dev) and the run renders as a
+// timeline, one track per category. Timestamps are virtual-time
+// microseconds since the simulation epoch.
+func (fr *FlightRecorder) WriteTrace(w io.Writer) error {
+	evs := fr.Events()
+	out := struct {
+		TraceEvents []traceEvent `json:"traceEvents"`
+	}{TraceEvents: make([]traceEvent, 0, len(evs))}
+	tids := map[string]int{}
+	for _, e := range evs {
+		tid, ok := tids[e.Cat]
+		if !ok {
+			tid = len(tids) + 1
+			tids[e.Cat] = tid
+		}
+		te := traceEvent{
+			Name: e.Name, Cat: e.Cat, Phase: "i", Scope: "t",
+			TS:  float64(e.T.Duration().Microseconds()),
+			PID: 1, TID: tid,
+		}
+		if e.Arg != "" {
+			te.Args = map[string]string{"arg": e.Arg}
+		}
+		out.TraceEvents = append(out.TraceEvents, te)
+	}
+	buf, err := json.Marshal(out)
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}
+
+// Dump writes the ring as plain text, one line per event — the test-
+// failure format.
+func (fr *FlightRecorder) Dump(w io.Writer) {
+	for _, e := range fr.Events() {
+		if e.Arg != "" {
+			fmt.Fprintf(w, "%12.6f %-6s %s %s\n", e.T.Seconds(), e.Cat, e.Name, e.Arg)
+		} else {
+			fmt.Fprintf(w, "%12.6f %-6s %s\n", e.T.Seconds(), e.Cat, e.Name)
+		}
+	}
+	if d := fr.Dropped(); d > 0 {
+		fmt.Fprintf(w, "(%d earlier events overwritten)\n", d)
+	}
+}

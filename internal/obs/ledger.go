@@ -1,0 +1,289 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"packetradio/internal/ax25"
+	"packetradio/internal/ip"
+)
+
+// PingLedger accounts for every echo request a world sends: each ping
+// is tracked by (station address, icmp id, icmp seq) through a ladder
+// of stages — request leaves the station's stack, crosses the air,
+// is forwarded by the gateway, arrives at the server, and the reply
+// walks the same path back. Loss events (a collision on the air, a
+// queue overflow in a driver) pin a terminal reason on the ping they
+// carried; anything still mid-ladder when the run ends is reported as
+// pending at its last stage. The invariant the experiments assert:
+//
+//	delivered + sum(undelivered fates) == pings sent
+//
+// so an E16-style saturation run can say exactly where every lost
+// probe died instead of just reporting a delivery ratio.
+type PingLedger struct {
+	// Unwrap, when set, strips a MAC-layer wrapper (the DAMA demand
+	// header) off an on-air frame before AX.25 decoding. Returns ok
+	// false when the bytes are not wrapped.
+	Unwrap func(b []byte) ([]byte, bool)
+
+	hostAddrs map[string]map[ip.Addr]bool
+	recs      map[pingKey]*pingRec
+	sent      int
+	delivered int
+}
+
+type pingKey struct {
+	station ip.Addr
+	id, seq uint16
+}
+
+type pingRec struct {
+	stage int
+	fate  string // terminal loss reason; "" while in flight
+}
+
+// The stage ladder. A ping only moves forward; duplicate sightings of
+// the same stage are no-ops.
+const (
+	stNone       = iota
+	stReqSent    // station stack emitted the request
+	stReqAir     // request crossed the air to the gateway
+	stReqFwd     // gateway forwarded it toward the server
+	stReqArrived // server stack accepted the request
+	stRepSent    // server emitted the reply
+	stRepFwd     // gateway forwarded the reply
+	stRepAir     // reply crossed the air to the station
+	stDelivered  // station stack accepted the reply
+)
+
+var stageNames = map[int]string{
+	stReqSent:    "pending: req in station queue",
+	stReqAir:     "pending: req at gateway",
+	stReqFwd:     "pending: req to server",
+	stReqArrived: "pending: req at server",
+	stRepSent:    "pending: rep to gateway",
+	stRepFwd:     "pending: rep in gateway queue",
+	stRepAir:     "pending: rep at station",
+}
+
+// NewPingLedger builds an empty ledger.
+func NewPingLedger() *PingLedger {
+	return &PingLedger{
+		hostAddrs: make(map[string]map[ip.Addr]bool),
+		recs:      make(map[pingKey]*pingRec),
+	}
+}
+
+// SetHostAddrs registers the addresses a host owns, letting the stack
+// tap tell "in: this datagram is FOR this host" apart from "in: this
+// gateway is merely transiting it".
+func (l *PingLedger) SetHostAddrs(host string, addrs ...ip.Addr) {
+	m := l.hostAddrs[host]
+	if m == nil {
+		m = make(map[ip.Addr]bool)
+		l.hostAddrs[host] = m
+	}
+	for _, a := range addrs {
+		m[a] = true
+	}
+}
+
+// pingFrom extracts a ledger key from a datagram: echo requests key on
+// the source (the station), replies on the destination.
+func pingFrom(pkt *ip.Packet) (k pingKey, isReq, ok bool) {
+	if pkt == nil || pkt.Proto != ip.ProtoICMP || pkt.FragOff != 0 || len(pkt.Payload) < 8 {
+		return k, false, false
+	}
+	id := uint16(pkt.Payload[4])<<8 | uint16(pkt.Payload[5])
+	seq := uint16(pkt.Payload[6])<<8 | uint16(pkt.Payload[7])
+	switch pkt.Payload[0] {
+	case 8: // echo request
+		return pingKey{pkt.Src, id, seq}, true, true
+	case 0: // echo reply
+		return pingKey{pkt.Dst, id, seq}, false, true
+	}
+	return k, false, false
+}
+
+func (l *PingLedger) advance(k pingKey, stage int, create bool) {
+	r := l.recs[k]
+	if r == nil {
+		if !create {
+			return
+		}
+		r = &pingRec{}
+		l.recs[k] = r
+		l.sent++
+	}
+	if stage > r.stage {
+		r.stage = stage
+		if stage == stDelivered {
+			l.delivered++
+		}
+	}
+}
+
+// StackTap returns an ipstack.Stack.Tap-shaped closure for the named
+// host; wire it to that host's stack to feed the ledger.
+func (l *PingLedger) StackTap(host string) func(dir string, pkt *ip.Packet, ifName string) {
+	return func(dir string, pkt *ip.Packet, ifName string) {
+		k, isReq, ok := pingFrom(pkt)
+		if !ok {
+			return
+		}
+		mine := l.hostAddrs[host]
+		switch {
+		case isReq && dir == "out" && mine[pkt.Src]:
+			l.advance(k, stReqSent, true)
+		case isReq && dir == "fwd":
+			l.advance(k, stReqFwd, false)
+		case isReq && dir == "in" && mine[pkt.Dst]:
+			l.advance(k, stReqArrived, false)
+		case !isReq && dir == "out":
+			l.advance(k, stRepSent, false)
+		case !isReq && dir == "fwd":
+			l.advance(k, stRepFwd, false)
+		case !isReq && dir == "in" && mine[pkt.Dst]:
+			l.advance(k, stDelivered, false)
+		}
+	}
+}
+
+// AX25Info extracts the information field from a bare AX.25 frame (no
+// FCS, no MAC wrapper — the dress a KISS line carries). Capture
+// filters use it to reach the IP datagram inside a KISS data record.
+func AX25Info(b []byte) ([]byte, bool) {
+	f, err := ax25.Decode(b)
+	if err != nil {
+		return nil, false
+	}
+	return f.Info, true
+}
+
+// decodeFrame digs the IP datagram out of an AX.25 frame as it appears
+// at any seam: MAC-wrapped on-air bytes, FCS-suffixed TNC output, or
+// the bare frame a KISS line carries.
+func (l *PingLedger) decodeFrame(b []byte) (f *ax25.Frame, pkt *ip.Packet, ok bool) {
+	if l.Unwrap != nil {
+		if inner, wrapped := l.Unwrap(b); wrapped {
+			b = inner
+		}
+	}
+	if body, fcsOK := ax25.CheckFCS(b); fcsOK {
+		b = body
+	}
+	f, err := ax25.Decode(b)
+	if err != nil {
+		return nil, nil, false
+	}
+	pkt, err = ip.Unmarshal(f.Info)
+	if err != nil {
+		return nil, nil, false
+	}
+	return f, pkt, true
+}
+
+// RadioFrame records one per-receiver delivery outcome from the radio
+// tap. Only the link-layer addressee matters: overheard copies and
+// copies lost to bystanders don't move the ledger. lost=false advances
+// the air stage; lost=true pins reason as the ping's fate.
+func (l *PingLedger) RadioFrame(receiverCall string, frame []byte, lost bool, reason string) {
+	f, pkt, ok := l.decodeFrame(frame)
+	if !ok || f.LinkDst().Callsign() != receiverCall {
+		return
+	}
+	k, isReq, ok := pingFrom(pkt)
+	if !ok {
+		return
+	}
+	if !lost {
+		if isReq {
+			l.advance(k, stReqAir, false)
+		} else {
+			l.advance(k, stRepAir, false)
+		}
+		return
+	}
+	l.lose(k, isReq, reason)
+}
+
+// DropFrame records a queue-drop of a frame at some seam (driver ipq,
+// TNC host queue, MAC transmit queue); body is the frame in whatever
+// dress that seam uses.
+func (l *PingLedger) DropFrame(reason string, body []byte) {
+	_, pkt, ok := l.decodeFrame(body)
+	if !ok {
+		return
+	}
+	k, isReq, ok := pingFrom(pkt)
+	if !ok {
+		return
+	}
+	l.lose(k, isReq, reason)
+}
+
+// DropPacket records a drop of a bare datagram (an ipstack-level drop:
+// no route, TTL, fragmentation failure).
+func (l *PingLedger) DropPacket(reason string, pkt *ip.Packet) {
+	k, isReq, ok := pingFrom(pkt)
+	if !ok {
+		return
+	}
+	l.lose(k, isReq, reason)
+}
+
+func (l *PingLedger) lose(k pingKey, isReq bool, reason string) {
+	r := l.recs[k]
+	if r == nil || r.stage == stDelivered || r.fate != "" {
+		return // untracked, already done, or already explained
+	}
+	side := "req"
+	if !isReq {
+		side = "rep"
+	}
+	r.fate = side + ": " + reason
+}
+
+// Sent reports how many pings the ledger saw leave a station.
+func (l *PingLedger) Sent() int { return l.sent }
+
+// Delivered reports how many replies made it back.
+func (l *PingLedger) Delivered() int { return l.delivered }
+
+// Fates classifies every tracked ping: "delivered", a terminal loss
+// reason, or "pending: ..." for pings still mid-ladder. The counts
+// always sum to Sent().
+func (l *PingLedger) Fates() map[string]int {
+	out := make(map[string]int)
+	for _, r := range l.recs {
+		switch {
+		case r.stage == stDelivered:
+			out["delivered"]++
+		case r.fate != "":
+			out[r.fate]++
+		default:
+			out[stageNames[r.stage]]++
+		}
+	}
+	return out
+}
+
+// WriteFates prints the fate table, most common first.
+func (l *PingLedger) WriteFates(w io.Writer) {
+	fates := l.Fates()
+	names := make([]string, 0, len(fates))
+	for n := range fates {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if fates[names[i]] != fates[names[j]] {
+			return fates[names[i]] > fates[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	for _, n := range names {
+		fmt.Fprintf(w, "%6d  %s\n", fates[n], n)
+	}
+}

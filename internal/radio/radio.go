@@ -57,9 +57,43 @@ type ChannelStats struct {
 	ControlAirtime time.Duration
 }
 
+// TapOutcome classifies one per-receiver delivery for Channel.Tap.
+type TapOutcome uint8
+
+const (
+	TapOK         TapOutcome = iota // received intact
+	TapCollision                    // destroyed by overlapping transmission
+	TapNoise                        // destroyed by the BER draw
+	TapHalfDuplex                   // missed: receiver was transmitting
+	TapTruncated                    // cut mid-frame by the sender retuning
+)
+
+func (o TapOutcome) String() string {
+	switch o {
+	case TapOK:
+		return "ok"
+	case TapCollision:
+		return "collision"
+	case TapNoise:
+		return "noise"
+	case TapHalfDuplex:
+		return "half-duplex"
+	case TapTruncated:
+		return "truncated"
+	}
+	return "unknown"
+}
+
 // Channel is one radio frequency shared by all attached transceivers.
 type Channel struct {
 	sched *sim.Scheduler
+
+	// Tap, when non-nil, observes every per-receiver delivery outcome:
+	// payload is what the receiver's MAC handed up (DAMA-unwrapped for
+	// data; the raw on-air bytes for half-duplex misses, where no MAC
+	// ran), consumed reports a frame the MAC swallowed as channel-access
+	// control. Purely read-side — a tap must not touch the channel.
+	Tap func(sender, receiver *Transceiver, payload []byte, outcome TapOutcome, consumed bool)
 
 	// BitRate is the on-air signalling rate in bits per second.
 	BitRate int
@@ -204,6 +238,8 @@ type TxStats struct {
 	FramesDamaged  uint64 // frames received damaged
 	CSMADeferrals  uint64 // slot waits due to busy carrier or persistence
 	HalfDuplexMiss uint64 // receptions lost because we were transmitting
+	QueueDrops     uint64 // frames refused by a full transmit queue (MaxQueue)
+	CSMAGiveUps    uint64 // frames abandoned after MaxDeferrals slot waits
 
 	// Fairness accounting, exported so experiments read shares without
 	// reaching into MAC internals. Airtime is this station's transmit
@@ -268,9 +304,30 @@ type Transceiver struct {
 	Params Params
 	Stats  TxStats
 
+	// MaxQueue, when positive, bounds the transmit queue: Send refuses
+	// further frames (Stats.QueueDrops) once that many are waiting —
+	// the kernel's IF_QFULL behavior the seed left unbounded. Zero
+	// keeps the unbounded queue.
+	MaxQueue int
+
+	// MaxDeferrals, when positive, is the per-frame CSMA patience: a
+	// head-of-queue frame that burns this many slot waits without
+	// winning the channel is dropped (Stats.CSMAGiveUps) so saturation
+	// sheds load instead of queueing it forever. Zero never gives up.
+	MaxDeferrals uint64
+
+	// OnDrop, when non-nil, observes frames this transceiver discards
+	// (queue overflow, CSMA give-up) with the reason. The callback must
+	// not retain the slice.
+	OnDrop func(reason string, frame []byte)
+
 	ch  *Channel
 	rx  func(frame []byte, damaged bool)
 	acc Accessor // channel-access policy; csma unless SetAccessor replaced it
+
+	// frameDeferrals counts slot waits burned by the current head-of-
+	// queue frame, reset when a frame keys up or is given up on.
+	frameDeferrals uint64
 
 	// csmaRng draws p-persistence decisions, noiseRng the BER survival
 	// of frames received here. Both are private streams seeded from
@@ -361,15 +418,32 @@ func (t *Transceiver) Retune(to *Channel) {
 		old.sched.Cancel(tx.done)
 		old.active = append(old.active[:i], old.active[i+1:]...)
 		cut = true
+		// The cut frame never airs its tail: give back the airtime that
+		// transmitFrame credited for [now, tx.end) at key-up, so a
+		// station that retunes mid-frame is not billed for carrier it
+		// never emitted (and AirtimeShare stays a true share).
+		if unaired := tx.end.Sub(now); unaired > 0 {
+			t.Stats.Airtime -= unaired
+			old.Stats.Airtime -= unaired
+			if tx.control {
+				old.Stats.ControlAirtime -= unaired
+			}
+		}
 		for _, r := range old.stations {
 			if !old.reachable(t, r) {
 				continue
 			}
 			if !r.Params.FullDuplex && r.txStart < now && r.txEnd > tx.start {
 				r.Stats.HalfDuplexMiss++
+				if old.Tap != nil {
+					old.Tap(t, r, tx.frame, TapTruncated, false)
+				}
 				continue
 			}
 			payload, consumed := r.acc.Deliver(r, tx.frame, true)
+			if old.Tap != nil {
+				old.Tap(t, r, payload, TapTruncated, consumed)
+			}
 			if consumed {
 				continue
 			}
@@ -482,11 +556,39 @@ func (t *Transceiver) CSMADeferrals() uint64 {
 // Send queues one frame (a fully framed byte string, FCS included) for
 // CSMA transmission. The slice is copied.
 func (t *Transceiver) Send(frame []byte) {
+	if t.MaxQueue > 0 && len(t.queue) >= t.MaxQueue {
+		t.Stats.QueueDrops++
+		if t.OnDrop != nil {
+			t.OnDrop("mac queue overflow", frame)
+		}
+		return
+	}
 	t.queue = append(t.queue, append([]byte(nil), frame...))
 	t.Stats.FramesQueued++
 	if !t.contending && !t.transmitting {
 		t.acc.Start(t)
 	}
+}
+
+// giveUp drops the head-of-queue frame once it has exhausted the
+// MaxDeferrals patience budget. It reports true when contention should
+// stop because the queue drained.
+func (t *Transceiver) giveUp() bool {
+	if t.MaxDeferrals == 0 || t.frameDeferrals < t.MaxDeferrals || len(t.queue) == 0 {
+		return false
+	}
+	frame := t.queue[0]
+	t.queue = t.queue[1:]
+	t.Stats.CSMAGiveUps++
+	t.frameDeferrals = 0
+	if t.OnDrop != nil {
+		t.OnDrop("csma give-up", frame)
+	}
+	if len(t.queue) == 0 {
+		t.stopContention()
+		return true
+	}
+	return false // keep contending for the next frame
 }
 
 // startContention anchors a fresh slot grid at the current instant and
@@ -545,11 +647,16 @@ func (t *Transceiver) onSlot() {
 	// wake later, and early release re-resolves it), so each is one
 	// deferral the per-slot path would have burned an event on.
 	if d := now.Sub(t.slot); d > 0 {
-		t.Stats.CSMADeferrals += uint64(d / slotTime)
+		n := uint64(d / slotTime)
+		t.Stats.CSMADeferrals += n
+		t.frameDeferrals += n
 	}
 	t.slot = now
 	if len(t.queue) == 0 {
 		t.stopContention()
+		return
+	}
+	if t.giveUp() {
 		return
 	}
 	p := t.Params
@@ -558,12 +665,20 @@ func (t *Transceiver) onSlot() {
 			// A carrier keyed up at this very instant (zero DCDDelay)
 			// before our wake ran.
 			t.Stats.CSMADeferrals++
+			t.frameDeferrals++
+			if t.giveUp() {
+				return
+			}
 			t.slot = t.slot.Add(slotTime)
 			t.wake = t.ch.sched.At(t.firstIdleSlot(t.slot), t.onSlot)
 			return
 		}
 		if t.csmaRng.Float64() >= p.Persist {
 			t.Stats.CSMADeferrals++
+			t.frameDeferrals++
+			if t.giveUp() {
+				return
+			}
 			t.slot = t.slot.Add(slotTime)
 			t.wake = t.ch.sched.At(t.firstIdleSlot(t.slot), t.onSlot)
 			return
@@ -572,6 +687,7 @@ func (t *Transceiver) onSlot() {
 	t.stopContention()
 	frame := t.queue[0]
 	t.queue = t.queue[1:]
+	t.frameDeferrals = 0
 	t.transmitFrame(frame, false)
 }
 
@@ -587,11 +703,25 @@ func (t *Transceiver) contend() {
 	if !p.FullDuplex {
 		if t.CarrierSense() {
 			t.Stats.CSMADeferrals++
+			t.frameDeferrals++
+			if t.MaxDeferrals > 0 && t.frameDeferrals >= t.MaxDeferrals {
+				t.contending = false
+				if !t.giveUpPerSlot() {
+					return
+				}
+			}
 			t.ch.sched.After(p.slotTime(), t.contend)
 			return
 		}
 		if t.csmaRng.Float64() >= p.Persist {
 			t.Stats.CSMADeferrals++
+			t.frameDeferrals++
+			if t.MaxDeferrals > 0 && t.frameDeferrals >= t.MaxDeferrals {
+				t.contending = false
+				if !t.giveUpPerSlot() {
+					return
+				}
+			}
 			t.ch.sched.After(p.slotTime(), t.contend)
 			return
 		}
@@ -599,7 +729,25 @@ func (t *Transceiver) contend() {
 	t.contending = false
 	frame := t.queue[0]
 	t.queue = t.queue[1:]
+	t.frameDeferrals = 0
 	t.transmitFrame(frame, false)
+}
+
+// giveUpPerSlot is the per-slot path's give-up: drop the head frame and
+// report whether contention should continue for a successor.
+func (t *Transceiver) giveUpPerSlot() bool {
+	frame := t.queue[0]
+	t.queue = t.queue[1:]
+	t.Stats.CSMAGiveUps++
+	t.frameDeferrals = 0
+	if t.OnDrop != nil {
+		t.OnDrop("csma give-up", frame)
+	}
+	if len(t.queue) == 0 {
+		return false
+	}
+	t.contending = true
+	return true
 }
 
 // reresolveWaiters recomputes every waiter's wake after an early
@@ -692,12 +840,16 @@ func (c *Channel) complete(tx *transmission) {
 		if r == sender || !c.reachable(sender, r) {
 			continue
 		}
-		damaged := tx.damagedAt[r]
+		collided := tx.damagedAt[r]
+		damaged := collided
 		// Half duplex: a station whose own transmission overlapped
 		// [tx.start, tx.end) missed the frame entirely — not even a
 		// damaged copy is seen (its receiver was disconnected).
 		if !r.Params.FullDuplex && r.txStart < tx.end && r.txEnd > tx.start {
 			r.Stats.HalfDuplexMiss++
+			if c.Tap != nil {
+				c.Tap(sender, r, tx.frame, TapHalfDuplex, false)
+			}
 			continue
 		}
 		if !damaged && c.BitErrorRate > 0 {
@@ -711,6 +863,15 @@ func (c *Channel) complete(tx *transmission) {
 		// channel-access control (a DAMA poll) and never reaches the
 		// host; an unwrapped one continues up with its payload.
 		payload, consumed := r.acc.Deliver(r, tx.frame, damaged)
+		if c.Tap != nil {
+			outcome := TapOK
+			if collided {
+				outcome = TapCollision
+			} else if damaged {
+				outcome = TapNoise
+			}
+			c.Tap(sender, r, payload, outcome, consumed)
+		}
 		if consumed {
 			continue
 		}

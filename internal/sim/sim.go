@@ -111,6 +111,13 @@ type Scheduler struct {
 
 	seed    int64
 	derived uint64
+
+	// EventHook, when non-nil, observes every fired event (after the
+	// clock advances, before the callback runs). The name is the one
+	// given to NamedAfter, or "" for anonymous events. It must not
+	// schedule or cancel events: it is a flight-recorder tap, and the
+	// nil check is the only cost when unset.
+	EventHook func(now Time, name string)
 }
 
 // NewScheduler returns a Scheduler with its clock at time zero and a
@@ -237,6 +244,9 @@ func (s *Scheduler) Step() bool {
 	e := heap.Pop(&s.queue).(*Event)
 	s.now = e.when
 	s.fired++
+	if s.EventHook != nil {
+		s.EventHook(s.now, e.name)
+	}
 	fn := e.fn
 	e.fn = nil
 	fn()

@@ -110,6 +110,11 @@ func (l *Layer) TCP() *tcp.Proto {
 	return l.tp
 }
 
+// TCPActive peeks at the TCP transport without creating it: nil until
+// the first stream socket. Observability uses this so registering
+// metrics never attaches a transport the host wasn't running.
+func (l *Layer) TCPActive() *tcp.Proto { return l.tp }
+
 // UDP returns the host's UDP transport, creating it on first use.
 func (l *Layer) UDP() *udp.Mux {
 	if l.um == nil {

@@ -58,6 +58,7 @@ type ConnStats struct {
 	DupBytes    uint64 // received payload bytes that were duplicates
 	DupAcks     uint64
 	FastRexmits uint64
+	Persists    uint64 // zero-window probes forced past a closed peer window
 	RTTSamples  uint64
 	LastRTT     time.Duration
 	SRTT        time.Duration
@@ -420,6 +421,8 @@ func (c *Conn) retransmit() {
 		c.sendData(c.sndNxt, c.sendBuf[:1], false)
 		c.sndNxt++
 		c.Stats.BytesSent++
+		c.Stats.Persists++
+		c.proto.Stats.Persists++
 	}
 }
 

@@ -93,6 +93,7 @@ type ProtoStats struct {
 	Accepts       uint64
 	Connects      uint64
 	ListenRefused uint64 // SYNs refused by a listener's OnSyn gate
+	Persists      uint64 // zero-window probes sent across all connections
 }
 
 type connKey struct {

@@ -66,6 +66,11 @@ type TNC struct {
 	// TNC's scarce on-board RAM). Default 16.
 	HostQueueFrames int
 
+	// OnDrop, when non-nil, observes frames the TNC discards toward
+	// the host ("tnc host queue overflow"); body is the AX.25 frame
+	// without FCS. The callback must not retain the slice.
+	OnDrop func(reason string, body []byte)
+
 	Stats Stats
 
 	sched  *sim.Scheduler
@@ -167,6 +172,9 @@ func (t *TNC) fromRadio(framed []byte, damaged bool) {
 	enc := kiss.Encode(nil, 0, body)
 	if !t.hostQ.Enqueue(enc) {
 		t.Stats.HostDrops++
+		if t.OnDrop != nil {
+			t.OnDrop("tnc host queue overflow", body)
+		}
 		return
 	}
 	t.pumpHost()

@@ -19,7 +19,6 @@ func damaWorld(n int, mac MACMode, minutes int) (string, uint64, *Large) {
 		Channels:     1,
 		PingInterval: time.Minute,
 		MAC:          mac,
-		AutoARP:      true, // both MACs: measure channel access, not ARP
 	})
 	lw.W.Run(time.Duration(minutes) * time.Minute)
 	tr := fmt.Sprintf("sent=%d replies=%d\n", lw.Sent, lw.Replies)
@@ -74,7 +73,6 @@ func TestMoveHostRejoinsDAMA(t *testing.T) {
 		Channels:     2,
 		PingInterval: 30 * time.Second,
 		MAC:          MACDAMA,
-		AutoARP:      true,
 	})
 	lw.W.Run(2 * time.Minute)
 	mover := lw.Stations[0] // st0 sits on channel 0

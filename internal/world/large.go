@@ -54,14 +54,15 @@ type LargeConfig struct {
 	// channel.
 	MAC MACMode
 
-	// AutoARP enables the NOS-style ARP conveniences on every radio
-	// port — glean mappings from received IP frames, accept
-	// unsolicited announcements — plus a periodic gratuitous announce
-	// from each gateway. Off by default so the E14/E15 baselines keep
-	// measuring the original RFC 826 traffic mix; E16 turns it on for
-	// both MACs, because a blocking ARP exchange per station would
-	// otherwise dominate a polled channel's cold start.
-	AutoARP bool
+	// NoAutoARP disables the NOS-style ARP conveniences on the radio
+	// ports — gleaning mappings from received IP frames, accepting
+	// unsolicited announcements, and each gateway's periodic
+	// gratuitous announce. Scale worlds run with auto-ARP ON by
+	// default (a blocking RFC 826 exchange per station dominates cold
+	// start on a shared channel, and on a polled one costs a whole
+	// poll cycle); set NoAutoARP to measure the strict RFC 826
+	// traffic mix the paper's Seattle deployment spoke.
+	NoAutoARP bool
 }
 
 func (cfg LargeConfig) withDefaults() LargeConfig {
@@ -136,7 +137,7 @@ func NewLarge(cfg LargeConfig) *Large {
 		gw.AttachEther(lw.Ether, "qe0", LargeGatewayEtherIP(c), ip.MaskClassB)
 		port := gw.AttachRadio(ch, "pr0", fmt.Sprintf("GW%d", c+1), LargeGatewayRadioIP(c), ip.MaskClassB,
 			RadioConfig{Baud: cfg.Baud, Filter: filter, PerSlotCSMA: cfg.PerSlotCSMA, MAC: cfg.MAC})
-		if cfg.AutoARP {
+		if !cfg.NoAutoARP {
 			port.Driver.EnableAutoARP()
 			port.Driver.AnnounceARP(5 * time.Minute)
 		}
@@ -170,7 +171,7 @@ func NewLarge(cfg LargeConfig) *Large {
 		st := w.Host(fmt.Sprintf("st%d", i))
 		port := st.AttachRadio(lw.Channels[c], "pr0", fmt.Sprintf("S%d", i), cfg.LargeStationIP(i), ip.MaskClassB,
 			RadioConfig{Baud: cfg.Baud, Filter: filter, PerSlotCSMA: cfg.PerSlotCSMA, MAC: cfg.MAC})
-		if cfg.AutoARP {
+		if !cfg.NoAutoARP {
 			port.Driver.EnableAutoARP()
 		}
 		st.Stack.Routes.AddDefault(LargeGatewayRadioIP(c), "pr0")

@@ -1,0 +1,263 @@
+package world
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"packetradio/internal/dama"
+	"packetradio/internal/ip"
+	"packetradio/internal/ipstack"
+	"packetradio/internal/obs"
+	"packetradio/internal/radio"
+)
+
+// This file wires the obs package onto a world: the metrics registry
+// over every layer's counters, pcap capture at the KISS and IP seams,
+// the flight recorder, and the ping ledger. Everything here is opt-in
+// and read-side — a world that never calls these runs the exact same
+// event schedule it always did.
+
+// metricName makes a hierarchy-safe path segment: dots separate
+// levels, so dots inside a channel or host name ("145.01") become
+// underscores.
+func metricName(s string) string { return strings.ReplaceAll(s, ".", "_") }
+
+// Registry returns the world's metrics registry, building it on first
+// use and re-sweeping on every call so hosts, channels and transports
+// added since the last call are picked up. Names are hierarchical:
+//
+//	radio.145_01.collisions        dama.145_01.elections
+//	host.pc1.ip.forwarded          host.pc1.pr0.rf.frames_sent
+//	host.uw-gw.pr0.drv.ipq_drops   host.pc1.tcp.persists
+func (w *World) Registry() *obs.Registry {
+	if w.reg == nil {
+		w.reg = obs.NewRegistry()
+	}
+	r := w.reg
+	for name, ch := range w.channels {
+		cn := metricName(name)
+		r.RegisterStruct("radio."+cn, &ch.Stats)
+		r.RegisterFunc("radio."+cn+".utilization", ch.Utilization)
+		if ctl, ok := w.dama[ch]; ok {
+			r.RegisterStruct("dama."+cn, &ctl.Stats)
+			r.RegisterDuration("dama."+cn+".control_airtime", &ch.Stats.ControlAirtime)
+		}
+	}
+	for hname, h := range w.hosts {
+		hn := "host." + metricName(hname)
+		r.RegisterStruct(hn+".ip", &h.Stack.Stats)
+		if h.sock != nil {
+			if tp := h.sock.TCPActive(); tp != nil {
+				r.RegisterStruct(hn+".tcp", &tp.Stats)
+			}
+		}
+		for ifName, p := range h.radios {
+			pn := hn + "." + metricName(ifName)
+			r.RegisterStruct(pn+".drv", &p.Driver.DStats)
+			r.RegisterStruct(pn+".tnc", &p.TNC.Stats)
+			r.RegisterStruct(pn+".rf", &p.RF.Stats)
+			r.RegisterStruct(pn+".arp", &p.Driver.Resolver().Stats)
+		}
+	}
+	return r
+}
+
+// Netstat writes the full registry snapshot as aligned name/value
+// lines, grouped by top-level prefix with a blank line between groups
+// — the simulation's `netstat -s`. prefix, when non-empty, restricts
+// the listing ("host.pc1", "radio.").
+func (w *World) Netstat(out io.Writer, prefix string) {
+	snap := w.Registry().Snapshot()
+	width := 0
+	var names []string
+	for _, s := range snap {
+		if !strings.HasPrefix(s.Name, prefix) {
+			continue
+		}
+		names = append(names, s.Name)
+		if len(s.Name) > width {
+			width = len(s.Name)
+		}
+	}
+	sort.Strings(names)
+	lastGroup := ""
+	for _, name := range names {
+		group := name
+		if i := strings.Index(name, "."); i >= 0 {
+			if j := strings.Index(name[i+1:], "."); j >= 0 {
+				group = name[:i+1+j]
+			}
+		}
+		if lastGroup != "" && group != lastGroup {
+			fmt.Fprintln(out)
+		}
+		lastGroup = group
+		v, _ := w.Registry().Value(name)
+		fmt.Fprintf(out, "%-*s %v\n", width, name, obs.FormatValue(v))
+	}
+}
+
+// EnableFlightRecorder starts a bounded ring of scheduler events and
+// MAC protocol transitions (capacity <= 0 takes the default). It
+// installs the scheduler's EventHook and every existing DAMA
+// controller's Trace, so enable it after the topology is built. The
+// hook adds no events and no allocations, but gated runs (the CI
+// event counter) should leave it off all the same.
+func (w *World) EnableFlightRecorder(capacity int) *obs.FlightRecorder {
+	fr := obs.NewFlightRecorder(capacity)
+	w.Sched.EventHook = fr.SchedHook()
+	for ch, ctl := range w.dama {
+		cn := metricName(w.ChannelName(ch))
+		ctl.Trace = func(event, who string) {
+			fr.Record(w.Sched.Now(), "dama", cn+" "+event, who)
+		}
+	}
+	return fr
+}
+
+// ChannelName reverse-maps a channel to the name it was created under
+// ("" if foreign).
+func (w *World) ChannelName(ch *radio.Channel) string {
+	for name, c := range w.channels {
+		if c == ch {
+			return name
+		}
+	}
+	return ""
+}
+
+// Channels lists the world's channels by name.
+func (w *World) Channels() map[string]*radio.Channel { return w.channels }
+
+// chainStackTap adds fn to a stack's Tap without displacing whatever
+// is already installed.
+func chainStackTap(s *ipstack.Stack, fn func(dir string, pkt *ip.Packet, ifName string)) {
+	prev := s.Tap
+	if prev == nil {
+		s.Tap = fn
+		return
+	}
+	s.Tap = func(dir string, pkt *ip.Packet, ifName string) {
+		prev(dir, pkt, ifName)
+		fn(dir, pkt, ifName)
+	}
+}
+
+// CapturePort attaches a pcap capture to one radio port's KISS/serial
+// seam: every frame crossing between host and TNC, both directions,
+// as DLT_AX25_KISS records stamped with virtual time. filter (nil =
+// everything) screens on the IP datagram inside data frames; KISS
+// parameter frames are captured only by a nil/match-all filter.
+func (w *World) CapturePort(host, ifName string, out io.Writer, filter *obs.Filter) (*obs.PcapWriter, error) {
+	h, ok := w.hosts[host]
+	if !ok {
+		return nil, fmt.Errorf("world: no host %q", host)
+	}
+	port, ok := h.radios[ifName]
+	if !ok {
+		return nil, fmt.Errorf("world: host %q has no radio %q", host, ifName)
+	}
+	pw, err := obs.NewPcapWriter(out, obs.LinkTypeAX25KISS)
+	if err != nil {
+		return nil, err
+	}
+	prev := port.Driver.Tap
+	port.Driver.Tap = func(dir string, rec []byte) {
+		if prev != nil {
+			prev(dir, rec)
+		}
+		if filter != nil && !kissRecordMatches(filter, rec) {
+			return
+		}
+		pw.WritePacket(w.Sched.Now(), rec)
+	}
+	return pw, nil
+}
+
+// kissRecordMatches applies an IP-level filter to a KISS record (the
+// command byte plus an AX.25 frame): data frames match on the info
+// field, anything else only passes a match-all filter.
+func kissRecordMatches(f *obs.Filter, rec []byte) bool {
+	if len(rec) == 0 || rec[0] != 0 { // not a data frame
+		return f.Match(nil) // true only for match-all
+	}
+	info, ok := obs.AX25Info(rec[1:])
+	if !ok {
+		return f.Match(nil)
+	}
+	return f.MatchRaw(info)
+}
+
+// CaptureIP attaches a pcap capture at a host's IP layer (the netif
+// seam): every datagram the stack receives, originates or forwards,
+// as DLT_RAW records stamped with virtual time.
+func (w *World) CaptureIP(host string, out io.Writer, filter *obs.Filter) (*obs.PcapWriter, error) {
+	h, ok := w.hosts[host]
+	if !ok {
+		return nil, fmt.Errorf("world: no host %q", host)
+	}
+	pw, err := obs.NewPcapWriter(out, obs.LinkTypeRaw)
+	if err != nil {
+		return nil, err
+	}
+	chainStackTap(h.Stack, func(dir string, pkt *ip.Packet, ifName string) {
+		if !filter.Match(pkt) {
+			return
+		}
+		if buf, err := pkt.Marshal(); err == nil {
+			pw.WritePacket(w.Sched.Now(), buf)
+		}
+	})
+	return pw, nil
+}
+
+// AttachPingLedger wires a PingLedger into every host, channel and
+// driver in the world: stack taps stage each ping through its ladder,
+// radio taps account air losses at the intended receiver, and the
+// drop hooks at every queue pin terminal reasons. Attach after the
+// topology is built and before traffic starts. The hooks add no
+// scheduler events, so ledgered runs keep their event counts — E16
+// attaches one to explain every undelivered ping.
+func (w *World) AttachPingLedger() *obs.PingLedger {
+	l := obs.NewPingLedger()
+	l.Unwrap = dama.Unwrap
+	for _, ch := range w.channels {
+		prev := ch.Tap
+		ch.Tap = func(sender, receiver *radio.Transceiver, payload []byte, outcome radio.TapOutcome, consumed bool) {
+			if prev != nil {
+				prev(sender, receiver, payload, outcome, consumed)
+			}
+			l.RadioFrame(receiver.Name, payload, outcome != radio.TapOK, outcome.String())
+		}
+	}
+	for name, h := range w.hosts {
+		chainStackTap(h.Stack, l.StackTap(name))
+		for _, ifName := range h.Stack.IfNames() {
+			if addr, _, ok := h.Stack.IfAddr(ifName); ok {
+				l.SetHostAddrs(name, addr)
+			}
+		}
+		for _, p := range h.radios {
+			chainFrameDrop(&p.Driver.OnDrop, l.DropFrame)
+			chainFrameDrop(&p.TNC.OnDrop, l.DropFrame)
+			chainFrameDrop(&p.RF.OnDrop, l.DropFrame)
+		}
+	}
+	return l
+}
+
+// chainFrameDrop adds fn to a drop hook slot without displacing an
+// existing observer.
+func chainFrameDrop(slot *func(reason string, frame []byte), fn func(reason string, frame []byte)) {
+	prev := *slot
+	if prev == nil {
+		*slot = fn
+		return
+	}
+	*slot = func(reason string, frame []byte) {
+		prev(reason, frame)
+		fn(reason, frame)
+	}
+}

@@ -1,0 +1,129 @@
+package world
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRegistryCoversEveryLayer sweeps a built world and checks the
+// hierarchical names land for every layer the issue's netstat view
+// promises: channel, MAC controller, and per-host ip/driver/tnc/rf/arp.
+func TestRegistryCoversEveryLayer(t *testing.T) {
+	lw := NewLarge(LargeConfig{
+		Seed: 1, Stations: 4, Channels: 1,
+		PingInterval: time.Minute, MAC: MACDAMA,
+	})
+	lw.W.Run(2 * time.Minute)
+	r := lw.W.Registry()
+	for _, name := range []string{
+		"radio.145_01.frames_started",
+		"radio.145_01.collision_pairs",
+		"radio.145_01.utilization",
+		"dama.145_01.elections",
+		"host.gw1.ip.forwarded",
+		"host.gw1.pr0.drv.ipq_drops",
+		"host.gw1.pr0.tnc.from_host",
+		"host.gw1.pr0.rf.frames_sent",
+		"host.gw1.pr0.rf.polls_sent",
+		"host.gw1.pr0.arp.learned",
+		"host.st1.pr0.rf.csma_give_ups",
+	} {
+		if _, ok := r.Value(name); !ok {
+			t.Errorf("registry missing %q", name)
+		}
+	}
+	// The views are live, not copies: the gateway forwarded traffic.
+	if v, _ := r.Value("host.gw1.ip.forwarded"); v == 0 {
+		t.Error("gateway forwarded counter reads zero through the registry")
+	}
+	var buf bytes.Buffer
+	lw.W.Netstat(&buf, "radio.")
+	if !strings.Contains(buf.String(), "radio.145_01.frames_started") {
+		t.Errorf("Netstat output missing channel stats:\n%s", buf.String())
+	}
+	if strings.Contains(buf.String(), "host.") {
+		t.Error("Netstat prefix filter leaked other groups")
+	}
+}
+
+// TestCountersSurviveChurn pins the satellite fix: per-layer counters
+// are owned by objects that persist across Retune, MoveHost and
+// FailLink, so topology churn never resets or double-counts them. The
+// one deliberate exception is airtime, which Retune *refunds* for the
+// unaired tail of a cut transmission — so duration metrics are
+// excluded from the monotonicity sweep.
+func TestCountersSurviveChurn(t *testing.T) {
+	lw := NewLarge(LargeConfig{
+		Seed: 3, Stations: 8, Channels: 2,
+		PingInterval: 30 * time.Second, MAC: MACDAMA,
+	})
+	r := lw.W.Registry()
+	lw.W.Run(2 * time.Minute)
+
+	monotonic := func(snap map[string]float64) {
+		t.Helper()
+		for name, was := range snap {
+			if strings.Contains(name, "airtime") || strings.Contains(name, "utilization") {
+				continue
+			}
+			now, ok := r.Value(name)
+			if !ok {
+				t.Fatalf("metric %q vanished after churn", name)
+			}
+			if now < was {
+				t.Errorf("%s went backwards across churn: %v -> %v", name, was, now)
+			}
+		}
+	}
+	snapAll := func() map[string]float64 {
+		out := make(map[string]float64)
+		for _, s := range r.Snapshot() {
+			out[s.Name] = s.Value
+		}
+		return out
+	}
+
+	mover := lw.Stations[0]
+	moverRF := mover.Radio("pr0").RF
+	sentBefore := moverRF.Stats.FramesSent
+	if sentBefore == 0 {
+		t.Fatal("mover never transmitted in the warm-up; churn test is vacuous")
+	}
+
+	// Churn: move st0 to the other channel, sever st1 from its
+	// gateway, run, heal, move back, run again.
+	before := snapAll()
+	lw.W.MoveHost(mover.Name, "pr0", lw.Channels[1])
+	lw.W.FailLink(lw.Stations[1].Name, lw.Gateways[0].Name)
+	lw.W.Run(time.Minute)
+	monotonic(before)
+
+	before = snapAll()
+	lw.W.HealLink(lw.Stations[1].Name, lw.Gateways[0].Name)
+	lw.W.MoveHost(mover.Name, "pr0", lw.Channels[0])
+	lw.W.Run(2 * time.Minute)
+	monotonic(before)
+
+	// The mover's transmit counter carried across both retunes and
+	// kept counting — a reset (fresh transceiver) or a re-attach
+	// double-count would both break the strict continuation.
+	if moverRF.Stats.FramesSent <= sentBefore {
+		t.Fatalf("mover FramesSent %d after churn, was %d before — counter reset or station wedged",
+			moverRF.Stats.FramesSent, sentBefore)
+	}
+	// The registry still reads the same (persistent) transceiver.
+	if v, _ := r.Value("host.st1.pr0.rf.frames_sent"); uint64(v) != moverRF.Stats.FramesSent {
+		t.Fatalf("registry view diverged from the live counter: %v vs %d", v, moverRF.Stats.FramesSent)
+	}
+
+	// Airtime stays physical after cut transmissions: each channel's
+	// utilization cannot exceed the number of stations that could key
+	// up, and is not negative.
+	for _, ch := range lw.Channels {
+		if u := ch.Utilization(); u < 0 || u > float64(len(ch.Stations())) {
+			t.Fatalf("channel utilization %v out of physical range after churn", u)
+		}
+	}
+}

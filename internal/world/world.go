@@ -23,6 +23,7 @@ import (
 	"packetradio/internal/ipstack"
 	"packetradio/internal/kiss"
 	"packetradio/internal/netrom"
+	"packetradio/internal/obs"
 	"packetradio/internal/radio"
 	"packetradio/internal/rspf"
 	"packetradio/internal/serial"
@@ -44,6 +45,8 @@ type World struct {
 	ethers   map[string]*ether.Segment
 	channels map[string]*radio.Channel
 	dama     map[*radio.Channel]*dama.Controller
+
+	reg *obs.Registry // lazily built by Registry(); see obs.go
 }
 
 // New creates an empty world with a deterministic seed.

@@ -113,8 +113,13 @@ func TestWriteSimCoreBench(t *testing.T) {
 			t.Fatalf("N=%d: per-slot and event-driven CSMA disagree (delivery %.4f vs %.4f, deferrals %d vs %d)",
 				n, slot.Delivery, edge.Delivery, slot.Deferrals, edge.Deferrals)
 		}
-		if n == 200 && edge.EventsPerSimS*3 > slot.EventsPerSimS {
-			t.Fatalf("N=200 event-driven CSMA fires %.1f events/sim-s vs %.1f per-slot — want >= 3x fewer",
+		// Recalibrated for the auto-ARP default mix: without ARP retry
+		// storms the N=200 channels sit at ~80% utilization and the
+		// carrier-edge saving measures 1.5x (it was 3.5x on the
+		// strict-RFC-826 mix); 1.3x still trips if the refactor
+		// vanishes (1.0x).
+		if n == 200 && edge.EventsPerSimS*1.3 > slot.EventsPerSimS {
+			t.Fatalf("N=200 event-driven CSMA fires %.1f events/sim-s vs %.1f per-slot — want >= 1.3x fewer",
 				edge.EventsPerSimS, slot.EventsPerSimS)
 		}
 		scaling[fmt.Sprintf("n%d", n)] = map[string]float64{
@@ -160,5 +165,34 @@ func TestWriteSimCoreBench(t *testing.T) {
 	}
 	if err := os.WriteFile("BENCH_simcore.json", append(buf, '\n'), 0o644); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestObsDisabledAddsNoAllocs pins DESIGN.md §3e's overhead contract:
+// observability is read-side, so a world with a fully built metrics
+// registry — but no sampling, no flight recorder, no taps — runs the
+// scheduler hot loop (After + Step) at exactly zero allocations per
+// event, same as a world with no registry at all. The nil-EventHook
+// check in Step is the only cost of the flight-recorder seam.
+func TestObsDisabledAddsNoAllocs(t *testing.T) {
+	if a := schedulerAllocsPerOp(); a != 0 {
+		t.Fatalf("bare scheduler allocates %.2f objects/op, want 0", a)
+	}
+	s := world.NewSeattle(world.SeattleConfig{Seed: 1, NumPCs: 1})
+	if s.W.Registry().Len() == 0 {
+		t.Fatal("registry swept no metrics; the disabled-path claim is vacuous")
+	}
+	if s.W.Sched.EventHook != nil {
+		t.Fatal("building the registry installed an event hook")
+	}
+	sched := s.W.Sched
+	sched.After(time.Microsecond, func() {})
+	sched.Step()
+	allocs := testing.AllocsPerRun(1000, func() {
+		sched.After(time.Microsecond, func() {})
+		sched.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("After+Step with a built registry allocates %.2f objects/op, want 0", allocs)
 	}
 }
