@@ -125,6 +125,7 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress the frame monitor")
 	macFlag := flag.String("mac", "csma", "channel access: csma (p-persistent) or dama (polled)")
 	stations := flag.Int("stations", 0, "scale mode: N stations on one channel with a ping-fate ledger (0 = Seattle scenario)")
+	transportFlag := flag.String("transport", "icmp", "scale mode probe transport: icmp, tcp or rdm")
 	var of obsFlags
 	flag.BoolVar(&of.netstat, "netstat", false, "print every metric in the registry at the end of the run")
 	flag.StringVar(&of.pcap, "pcap", "", "capture the gateway's KISS seam to this pcap file")
@@ -139,8 +140,14 @@ func main() {
 		os.Exit(2)
 	}
 
+	transport, err := world.ParseTransportMode(*transportFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
 	if *stations > 0 {
-		runScale(*stations, mac, *seed, *bps, *dur, &of)
+		runScale(*stations, mac, transport, *seed, *bps, *dur, &of)
 		return
 	}
 
@@ -217,32 +224,53 @@ func main() {
 }
 
 // runScale is the E16-style scale mode: N stations share ONE channel
-// behind one gateway, each pinging the Internet host once a minute,
-// with an obs.PingLedger watching every seam. At the end it accounts
-// for every ping ever sent — delivered, lost to a named drop reason,
-// or still pending at a named stage.
-func runScale(n int, mac world.MACMode, seed int64, bps int, dur time.Duration, of *obsFlags) {
+// behind one gateway, each probing the Internet host once a minute.
+// With the default ICMP transport an obs.PingLedger watches every seam
+// and accounts for every ping ever sent — delivered, lost to a named
+// drop reason, or still pending at a named stage. With -transport tcp
+// or rdm the same probe schedule rides a real transport instead, so
+// losses become latency and the summary reports transport counters in
+// place of the (ICMP-only) fate ledger.
+func runScale(n int, mac world.MACMode, transport world.TransportMode, seed int64, bps int, dur time.Duration, of *obsFlags) {
 	lw := world.NewLarge(world.LargeConfig{
 		Seed: seed, Stations: n, Channels: 1, BitRate: bps,
-		PingInterval: time.Minute, MAC: mac,
+		PingInterval: time.Minute, MAC: mac, Transport: transport,
 	})
-	ledger := lw.W.AttachPingLedger()
+	var ledger *obs.PingLedger
+	if transport == world.TransportICMP {
+		ledger = lw.W.AttachPingLedger()
+	}
 	finish, err := of.attach(lw.W, "gw1")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	fmt.Printf("# scale mode: %d stations, one %d bps channel, mac=%v, 60 s ping interval\n", n, bps, mac)
-	lw.W.Run(30 * time.Second) // warm-up: ARP, first ping wave, DAMA election
+	fmt.Printf("# scale mode: %d stations, one %d bps channel, mac=%v, transport=%v, 60 s probe interval\n",
+		n, bps, mac, transport)
+	lw.W.Run(30 * time.Second) // warm-up: ARP, first probe wave, DAMA election
 	lw.W.Run(dur)
 
-	fmt.Printf("# pings: sent=%d replies=%d delivery=%.0f%%\n",
+	fmt.Printf("# probes: sent=%d replies=%d delivery=%.0f%%\n",
 		lw.Sent, lw.Replies, lw.DeliveryRatio()*100)
 	ch := lw.Channels[0]
 	fmt.Printf("# channel: utilization=%.1f%% collisions=%d\n",
 		ch.Utilization()*100, ch.Stats.CollisionPairs)
-	fmt.Println("# ping fates (first thing that went wrong, most common first):")
-	ledger.WriteFates(os.Stdout)
+	switch transport {
+	case world.TransportICMP:
+		fmt.Println("# ping fates (first thing that went wrong, most common first):")
+		ledger.WriteFates(os.Stdout)
+	case world.TransportTCP:
+		if tp := lw.Internet.Sockets().TCPActive(); tp != nil {
+			fmt.Printf("# inet tcp: segsIn=%d segsOut=%d accepts=%d\n",
+				tp.Stats.SegsIn, tp.Stats.SegsOut, tp.Stats.Accepts)
+		}
+	case world.TransportRDM:
+		if rm := lw.Internet.Sockets().RDMActive(); rm != nil {
+			s := rm.Stats
+			fmt.Printf("# inet rdm: delivered=%d sent=%d resent=%d acksOut=%d naksOut=%d failed=%d\n",
+				s.Delivered, s.Sent, s.Resent, s.AcksOut, s.NaksOut, s.Failed)
+		}
+	}
 	finish()
 }
 

@@ -10,6 +10,7 @@ package packetradio
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"testing"
 
@@ -33,6 +34,12 @@ func TestEventGate(t *testing.T) {
 			EventsPerSimS float64 `json:"events_per_sim_s"`
 			Collisions    float64 `json:"collisions"`
 		} `json:"e16_mac"`
+		E17Transfer map[string]struct {
+			Seconds   float64 `json:"seconds"`
+			Delivered float64 `json:"delivered"`
+			PktsOut   float64 `json:"pkts_out"`
+			Resent    float64 `json:"resent"`
+		} `json:"e17_transfer"`
 	}
 	if err := json.Unmarshal(raw, &committed); err != nil {
 		t.Fatal(err)
@@ -86,6 +93,37 @@ func TestEventGate(t *testing.T) {
 			}
 		}
 	}
+	// E17 cells: one 2 KB transfer per transport x MTU is RNG-light
+	// enough that completion time, packet counts and retransmissions
+	// all gate exactly. A lossless channel must stay retransmit-free —
+	// any resent packet here is a transport regression (spurious RTO or
+	// a NAK fired into the sender's own train), not noise.
+	for _, mtu := range []int{256, 576} {
+		for _, tr := range []string{"tcp", "rdm"} {
+			key := fmt.Sprintf("%s_mtu%d", tr, mtu)
+			want, ok := committed.E17Transfer[key]
+			if !ok {
+				t.Fatalf("baseline has no e17_transfer.%s", key)
+			}
+			pt := experiments.TransferRun(tr, mtu)
+			if pt.Seconds != want.Seconds {
+				t.Errorf("E17 %s seconds = %v, committed %v", key, pt.Seconds, want.Seconds)
+			}
+			if float64(pt.Delivered) != want.Delivered {
+				t.Errorf("E17 %s delivered = %d, committed %v", key, pt.Delivered, want.Delivered)
+			}
+			if float64(pt.PktsOut) != want.PktsOut {
+				t.Errorf("E17 %s pkts_out = %d, committed %v", key, pt.PktsOut, want.PktsOut)
+			}
+			if float64(pt.Resent) != want.Resent {
+				t.Errorf("E17 %s resent = %d, committed %v", key, pt.Resent, want.Resent)
+			}
+		}
+	}
+	if rdm576 := committed.E17Transfer["rdm_mtu576"]; rdm576.Resent != 0 {
+		t.Errorf("committed baseline itself carries %v retransmissions on a lossless channel", rdm576.Resent)
+	}
+
 	n100 := committed.E16MAC["n100"]
 	if n100["dama"].Replies <= n100["csma"].Replies {
 		t.Errorf("committed baseline itself violates the acceptance bar: DAMA %v replies <= CSMA %v at N=100",

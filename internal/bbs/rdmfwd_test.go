@@ -1,0 +1,123 @@
+package bbs
+
+import (
+	"testing"
+	"time"
+
+	"packetradio/internal/ether"
+	"packetradio/internal/ip"
+	"packetradio/internal/ipstack"
+	"packetradio/internal/radio"
+	"packetradio/internal/sim"
+	"packetradio/internal/socket"
+)
+
+// fixture: two boards in different towns, each on its own user
+// channel, linked by an IP path (an Ethernet stands in for whatever
+// the internetwork provides) with RDM forwarding Seattle -> Tacoma.
+func rdmBoards(t *testing.T) (*sim.Scheduler, *Board, *Board, *RDMForwarder) {
+	t.Helper()
+	s := sim.NewScheduler(1)
+	seattle := New(s, radio.NewChannel(s, 1200), "SEABBS")
+	tacoma := New(s, radio.NewChannel(s, 1200), "TACBBS")
+	seattle.HomeUsers["N7AKR"] = true
+	tacoma.HomeUsers["KB7DZ"] = true
+
+	g := ether.NewSegment(s, 0)
+	mk := func(name, addr string) *socket.Layer {
+		st := ipstack.New(s, name)
+		n := g.Attach("qe0", ip.MustAddr(addr), st)
+		n.Init()
+		st.AddInterface(n, ip.MustAddr(addr), ip.MaskClassC)
+		return socket.New(st)
+	}
+	sl := mk("seattle", "10.0.0.1")
+	tl := mk("tacoma", "10.0.0.2")
+	if _, err := ServeRDM(tacoma, tl, 0); err != nil {
+		t.Fatal(err)
+	}
+	fwd := NewRDMForwarder(seattle, sl, ip.MustAddr("10.0.0.2"), 0)
+	return s, seattle, tacoma, fwd
+}
+
+func TestRDMForwardDeliversMail(t *testing.T) {
+	s, seattle, tacoma, fwd := rdmBoards(t)
+	seattle.Post("N7AKR", "KB7DZ", "meeting", "see you at the hamfest\n")
+	s.RunFor(time.Minute)
+
+	if fwd.Stats.Delivered != 1 || fwd.Pending() != 0 {
+		t.Fatalf("forwarder stats: %+v pending=%d", fwd.Stats, fwd.Pending())
+	}
+	if len(seattle.Messages()) != 0 {
+		t.Fatalf("message still on origin board: %+v", seattle.Messages())
+	}
+	msgs := tacoma.Messages()
+	if len(msgs) != 1 {
+		t.Fatalf("peer board has %d messages", len(msgs))
+	}
+	m := msgs[0]
+	if m.From != "N7AKR" || m.To != "KB7DZ" || m.Subject != "meeting" || m.Body != "see you at the hamfest\n" {
+		t.Fatalf("forwarded message: %+v", m)
+	}
+}
+
+// Lone "." body lines need no escaping over RDM — message framing is
+// the transport's job, not the payload's. Contrast the AX.25 dialogue,
+// which must mangle them to ". ".
+func TestRDMBodyDotLinesSurviveVerbatim(t *testing.T) {
+	s, seattle, tacoma, _ := rdmBoards(t)
+	seattle.Post("N7AKR", "KB7DZ", "dots", "line one\n.\nline three\n")
+	s.RunFor(time.Minute)
+	msgs := tacoma.Messages()
+	if len(msgs) != 1 {
+		t.Fatalf("peer has %d messages", len(msgs))
+	}
+	if msgs[0].Body != "line one\n.\nline three\n" {
+		t.Fatalf("body: %q", msgs[0].Body)
+	}
+}
+
+func TestRDMForwardBatchOverOneConnection(t *testing.T) {
+	s, seattle, tacoma, fwd := rdmBoards(t)
+	seattle.Post("N7AKR", "KB7DZ", "first", "1")
+	seattle.Post("N7AKR", "KB7DZ", "second", "2")
+	seattle.Post("N7AKR", "KB7DZ", "third", "3")
+	s.RunFor(time.Minute)
+	if fwd.Stats.Delivered != 3 || fwd.Pending() != 0 {
+		t.Fatalf("stats: %+v pending=%d", fwd.Stats, fwd.Pending())
+	}
+	msgs := tacoma.Messages()
+	if len(msgs) != 3 {
+		t.Fatalf("peer has %d messages", len(msgs))
+	}
+	for i, want := range []string{"first", "second", "third"} {
+		if msgs[i].Subject != want {
+			t.Fatalf("order: %v", msgs)
+		}
+	}
+	// One socket carried all three: the forwarder holds its connection
+	// open rather than dialing per message.
+	if fwd.sock == nil {
+		t.Fatal("forwarder dropped its connection after a clean batch")
+	}
+}
+
+func TestRDMForwardDeadPeerRequeues(t *testing.T) {
+	s, seattle, _, fwd := rdmBoards(t)
+	// Repoint the forwarder at an address nobody answers for before
+	// anything is queued.
+	fwd.peer = ip.MustAddr("10.0.0.99")
+	seattle.Post("N7AKR", "KB7DZ", "void", "anyone there?")
+	// Long enough for the transport to spend its whole retransmission
+	// budget and fail the connection.
+	s.RunFor(30 * time.Minute)
+	if fwd.Stats.Failures == 0 {
+		t.Fatalf("no failure recorded: %+v", fwd.Stats)
+	}
+	if fwd.Pending() != 1 {
+		t.Fatalf("message lost instead of requeued: pending=%d", fwd.Pending())
+	}
+	if fwd.sock != nil {
+		t.Fatal("dead socket not dropped")
+	}
+}

@@ -177,6 +177,16 @@ func (d *PacketRadioIf) Name() string { return d.name }
 // MTU implements netif.Interface.
 func (d *PacketRadioIf) MTU() int { return d.mtu }
 
+// SetMTU overrides the interface MTU (ifconfig mtu). The AX.25 default
+// is conservative; stations on a clean channel can trade error-burst
+// exposure for per-frame overhead by raising it. Set before traffic
+// flows — in-flight datagrams are not re-fragmented.
+func (d *PacketRadioIf) SetMTU(mtu int) {
+	if mtu > 0 {
+		d.mtu = mtu
+	}
+}
+
 // Up implements netif.Interface.
 func (d *PacketRadioIf) Up() bool { return d.up }
 

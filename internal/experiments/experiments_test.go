@@ -183,11 +183,11 @@ func TestE10CSMASaturates(t *testing.T) {
 func TestRunAllProducesReadableReport(t *testing.T) {
 	var sb strings.Builder
 	results := RunAll(&sb)
-	if len(results) != 18 {
+	if len(results) != 19 {
 		t.Fatalf("got %d results", len(results))
 	}
 	out := sb.String()
-	for _, id := range []string{"F1", "F2a", "F2b", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16"} {
+	for _, id := range []string{"F1", "F2a", "F2b", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17"} {
 		if !strings.Contains(out, "== "+id) {
 			t.Fatalf("report missing section %s", id)
 		}
@@ -376,6 +376,38 @@ func TestE16LedgerAccountsEveryPing(t *testing.T) {
 		}
 		if mac == world.MACCSMA && pinned == 0 {
 			t.Fatal("csma knee run pinned no loss reasons — the ledger never saw a drop")
+		}
+	}
+}
+
+func TestE17RDMBeatsTCPOnRadio(t *testing.T) {
+	r := E17(io.Discard)
+	// The subsystem's acceptance bar: Reliable-mode RDM goodput at
+	// least 2x the committed TCP radio baseline (406 bps at MTU 256,
+	// BENCH_sockets radio_stream_goodput_bps) somewhere on the
+	// measured grid — the 576-byte bulk profile is that point.
+	if got := r.Get("goodput_bps_rdm_mtu576"); got < 2*406 {
+		t.Fatalf("RDM bulk goodput %.0f bps < 2x the 406 bps TCP baseline", got)
+	}
+	// And cell by cell, same MTU: the message transport must beat the
+	// byte stream on its home path.
+	for _, mtu := range []int{256, 576} {
+		key := fmt.Sprintf("_mtu%d", mtu)
+		tcp, rdm := r.Get("goodput_bps_tcp"+key), r.Get("goodput_bps_rdm"+key)
+		if rdm <= tcp {
+			t.Fatalf("MTU %d: RDM %.0f bps <= TCP %.0f bps", mtu, rdm, tcp)
+		}
+	}
+	// The comparison is only meaningful if both transports actually
+	// finished clean: all four RDM messages over a lossless channel
+	// with no retransmissions.
+	for _, mtu := range []int{256, 576} {
+		key := fmt.Sprintf("_rdm_mtu%d", mtu)
+		if r.Get("delivered"+key) != 4 {
+			t.Fatalf("MTU %d: delivered %.0f messages, want 4", mtu, r.Get("delivered"+key))
+		}
+		if r.Get("resent"+key) != 0 {
+			t.Fatalf("MTU %d: %.0f retransmissions on a clean channel", mtu, r.Get("resent"+key))
 		}
 	}
 }

@@ -127,10 +127,12 @@ func (m Mask) String() string { return Addr(m).String() }
 // SameNet reports whether a and b are on the same network under m.
 func SameNet(a, b Addr, m Mask) bool { return m.Apply(a) == m.Apply(b) }
 
-// Protocol numbers.
+// Protocol numbers. ProtoRDM reuses RFC 908 RDP's assignment (27) for
+// the reliable-datagram transport in internal/rdm.
 const (
 	ProtoICMP = 1
 	ProtoTCP  = 6
+	ProtoRDM  = 27
 	ProtoUDP  = 17
 )
 

@@ -18,11 +18,12 @@ import (
 //	expr := conj { "or" conj }
 //	conj := pred { ["and"] pred }
 //	pred := ["not"] ( "host" ADDR | "src" ADDR | "dst" ADDR
-//	                | "proto" N | "icmp" | "tcp" | "udp" | "port" N )
+//	                | "proto" N | "icmp" | "tcp" | "udp" | "rdm"
+//	                | "port" N )
 //
-// host matches either address; port matches either TCP/UDP port (and
-// only on unfragmented first fragments, where the transport header is
-// present). An empty expression matches everything.
+// host matches either address; port matches either TCP/UDP/RDM port
+// (and only on unfragmented first fragments, where the transport
+// header is present). An empty expression matches everything.
 type Filter struct {
 	alts [][]pred // OR of ANDs
 	src  string
@@ -100,7 +101,7 @@ func ParseFilter(s string) (*Filter, error) {
 				return nil, fmt.Errorf("obs: filter %q: %v", s, err)
 			}
 			p.kind, p.num = 'p', n
-		case "icmp", "tcp", "udp":
+		case "icmp", "tcp", "udp", "rdm":
 			n, _ := protoNumber(w)
 			p.kind, p.num = 'p', n
 		case "port":
@@ -132,6 +133,8 @@ func protoNumber(s string) (uint16, error) {
 		return ip.ProtoTCP, nil
 	case "udp":
 		return ip.ProtoUDP, nil
+	case "rdm":
+		return ip.ProtoRDM, nil
 	}
 	n, err := strconv.ParseUint(s, 10, 8)
 	if err != nil {
@@ -192,7 +195,7 @@ func (p pred) eval(pkt *ip.Packet) bool {
 	case 'p':
 		return uint16(pkt.Proto) == p.num
 	case 'P':
-		if pkt.FragOff != 0 || (pkt.Proto != ip.ProtoTCP && pkt.Proto != ip.ProtoUDP) {
+		if pkt.FragOff != 0 || (pkt.Proto != ip.ProtoTCP && pkt.Proto != ip.ProtoUDP && pkt.Proto != ip.ProtoRDM) {
 			return false
 		}
 		if len(pkt.Payload) < 4 {

@@ -183,6 +183,7 @@ func echoPacket(src, dst string, proto uint8, payload []byte) *ip.Packet {
 func TestFilter(t *testing.T) {
 	icmpEcho := echoPacket("44.24.0.10", "128.95.1.2", 1, []byte{8, 0, 0, 0, 0, 1, 0, 1})
 	tcp23 := echoPacket("128.95.1.2", "44.24.0.10", 6, []byte{0x04, 0x01, 0x00, 0x17}) // 1025 -> 23
+	rdm7 := echoPacket("44.24.0.10", "128.95.1.2", 27, []byte{0x04, 0x02, 0x00, 0x07}) // 1026 -> 7
 	cases := []struct {
 		expr string
 		pkt  *ip.Packet
@@ -202,6 +203,16 @@ func TestFilter(t *testing.T) {
 		{"icmp or port 23", tcp23, true},
 		{"proto 6 and port 1025", tcp23, true},
 		{"tcp and src 44.24.0.10", tcp23, false},
+		{"rdm", rdm7, true},
+		{"rdm", tcp23, false},
+		{"proto rdm", rdm7, true},
+		{"proto 27", rdm7, true},
+		{"port 7", rdm7, true}, // RDM carries ports: the 'P' pred decodes them
+		{"port 1026", rdm7, true},
+		{"port 23", rdm7, false},
+		{"not rdm", rdm7, false},
+		{"rdm and dst 128.95.1.2", rdm7, true},
+		{"tcp or rdm", rdm7, true},
 	}
 	for _, c := range cases {
 		f, err := ParseFilter(c.expr)

@@ -28,6 +28,7 @@ import (
 
 	"packetradio/internal/ip"
 	"packetradio/internal/ipstack"
+	"packetradio/internal/rdm"
 	"packetradio/internal/tcp"
 	"packetradio/internal/udp"
 )
@@ -39,6 +40,7 @@ const (
 	SockStream Type = iota // reliable byte stream over TCP
 	SockDgram              // datagrams over UDP
 	SockRaw                // raw IP datagrams of one protocol
+	SockRDM                // reliable datagrams over RDM (per-message delivery modes)
 )
 
 func (t Type) String() string {
@@ -49,6 +51,8 @@ func (t Type) String() string {
 		return "SOCK_DGRAM"
 	case SockRaw:
 		return "SOCK_RAW"
+	case SockRDM:
+		return "SOCK_RDM"
 	}
 	return "SOCK_?"
 }
@@ -83,6 +87,12 @@ type Layer struct {
 	// defaults.
 	StreamDefaults tcp.Config
 
+	// RDMDefaults tunes SOCK_RDM sockets (RTO floor, ACK/NAK pacing,
+	// windows). Applied when the RDM transport first attaches; zero
+	// fields take protocol defaults. Radio hosts get
+	// rdm.RadioProfile() from world.Host.Sockets().
+	RDMDefaults rdm.Config
+
 	// SndBuf / RcvBuf are the sockbuf high-water marks for new
 	// sockets; zero means DefaultBuf. For stream sockets the receive
 	// sockbuf IS the TCP window, so RcvBuf applies only when
@@ -92,6 +102,7 @@ type Layer struct {
 	stack *ipstack.Stack
 	tp    *tcp.Proto
 	um    *udp.Mux
+	rm    *rdm.Mux
 }
 
 // New attaches a socket layer to a host's IP stack.
@@ -123,6 +134,20 @@ func (l *Layer) UDP() *udp.Mux {
 	return l.um
 }
 
+// RDM returns the host's reliable-datagram transport, creating it
+// from RDMDefaults on first use.
+func (l *Layer) RDM() *rdm.Mux {
+	if l.rm == nil {
+		l.rm = rdm.NewMux(l.stack, l.RDMDefaults)
+	}
+	return l.rm
+}
+
+// RDMActive peeks at the RDM transport without creating it: nil until
+// the first SOCK_RDM socket. Observability uses this so registering
+// metrics never attaches a transport the host wasn't running.
+func (l *Layer) RDMActive() *rdm.Mux { return l.rm }
+
 func (l *Layer) sndBuf() int {
 	if l.SndBuf > 0 {
 		return l.SndBuf
@@ -137,12 +162,13 @@ func (l *Layer) rcvBuf() int {
 	return DefaultBuf
 }
 
-// Datagram is one received SOCK_DGRAM or SOCK_RAW message with its
-// metadata — what recvfrom(2) returns.
+// Datagram is one received SOCK_DGRAM, SOCK_RAW or SOCK_RDM message
+// with its metadata — what recvfrom(2) returns.
 type Datagram struct {
 	Src     ip.Addr
-	SrcPort uint16 // zero for raw sockets
-	IfName  string // receiving interface (raw sockets; "" for UDP)
+	SrcPort uint16   // zero for raw sockets
+	IfName  string   // receiving interface (raw sockets; "" otherwise)
+	Mode    rdm.Mode // delivery mode the message arrived under (SOCK_RDM)
 	Data    []byte
 }
 
@@ -166,6 +192,10 @@ type Socket struct {
 	// OnConnect fires when an actively opened stream reaches
 	// ESTABLISHED.
 	OnConnect func()
+	// OnMsgDelivered fires when a reliable SOCK_RDM message is
+	// acknowledged by the peer, identified by the seq SendMsg
+	// returned.
+	OnMsgDelivered func(seq uint16)
 
 	Stats SockStats
 
@@ -192,6 +222,9 @@ type Socket struct {
 	rawTTL   uint8
 	dq       []Datagram
 	dqBytes  int
+
+	// RDM state.
+	rdmc *rdm.Conn
 
 	closed bool
 }
@@ -259,6 +292,11 @@ func (s *Socket) Close() error {
 		// Owned unregister: if another transport has since claimed the
 		// protocol, leave its handler alone.
 		s.stack.UnregisterProtoOwned(s.rawProto, s)
+		s.dq = nil
+	case SockRDM:
+		if s.rdmc != nil {
+			s.rdmc.Close()
+		}
 		s.dq = nil
 	}
 	return nil

@@ -16,8 +16,47 @@ import (
 	"packetradio/internal/ether"
 	"packetradio/internal/ip"
 	"packetradio/internal/radio"
+	"packetradio/internal/rdm"
+	"packetradio/internal/sim"
+	"packetradio/internal/socket"
 	"packetradio/internal/tnc"
 )
+
+// TransportMode selects what the background probe traffic rides on.
+// ICMP is the default (and what every event gate pins); TCP and RDM
+// run the same probe schedule over real transports, so the scale mode
+// can compare delivery ratio and latency across the three on the same
+// channel.
+type TransportMode int
+
+const (
+	TransportICMP TransportMode = iota // one-shot echo request/reply
+	TransportTCP                       // one persistent stream per station, 32-byte echoes
+	TransportRDM                       // Reliable SOCK_RDM messages, echoed per message
+)
+
+func (m TransportMode) String() string {
+	switch m {
+	case TransportTCP:
+		return "tcp"
+	case TransportRDM:
+		return "rdm"
+	}
+	return "icmp"
+}
+
+// ParseTransportMode parses a -transport flag value.
+func ParseTransportMode(s string) (TransportMode, error) {
+	switch s {
+	case "", "icmp":
+		return TransportICMP, nil
+	case "tcp":
+		return TransportTCP, nil
+	case "rdm":
+		return TransportRDM, nil
+	}
+	return TransportICMP, fmt.Errorf("unknown transport %q (want icmp, tcp or rdm)", s)
+}
 
 // LargeConfig parameterizes NewLarge.
 type LargeConfig struct {
@@ -53,6 +92,13 @@ type LargeConfig struct {
 	// gateway (default CSMA). E16 compares the two on one saturated
 	// channel.
 	MAC MACMode
+
+	// Transport selects what the PingInterval probes ride on: ICMP
+	// echoes (default), one persistent TCP stream per station, or
+	// Reliable SOCK_RDM messages. Every mode fills Sent / Replies /
+	// RTTs the same way, so DeliveryRatio and latency metrics read
+	// identically; what differs is the protocol machinery under them.
+	Transport TransportMode
 
 	// NoAutoARP disables the NOS-style ARP conveniences on the radio
 	// ports — gleaning mappings from received IP frames, accepting
@@ -184,15 +230,28 @@ func NewLarge(cfg LargeConfig) *Large {
 	return lw
 }
 
-// startTraffic arms the background ping load: each station pings the
-// Internet host every PingInterval, phase-shifted so the load is
-// spread evenly. Each station keeps one persistent echo context
-// (PingOpen + PingSeq follow-ups) rather than a one-shot Ping per
-// probe: scale worlds lose plenty of probes to CSMA, and one-shot
-// contexts whose replies never arrive would leak ids without bound,
-// while a persistent context's per-seq state self-bounds at the
-// 16-bit sequence space.
+// startTraffic arms the background probe load on whichever transport
+// the config selects. Each mode sends one probe per station per
+// PingInterval, phase-shifted so the load is spread evenly, and fills
+// Sent / Replies / RTTs.
 func (lw *Large) startTraffic() {
+	switch lw.Cfg.Transport {
+	case TransportTCP:
+		lw.startTCPTraffic()
+	case TransportRDM:
+		lw.startRDMTraffic()
+	default:
+		lw.startPingTraffic()
+	}
+}
+
+// startPingTraffic is the ICMP mode. Each station keeps one persistent
+// echo context (PingOpen + PingSeq follow-ups) rather than a one-shot
+// Ping per probe: scale worlds lose plenty of probes to CSMA, and
+// one-shot contexts whose replies never arrive would leak ids without
+// bound, while a persistent context's per-seq state self-bounds at the
+// 16-bit sequence space.
+func (lw *Large) startPingTraffic() {
 	n := len(lw.Stations)
 	for i, st := range lw.Stations {
 		st := st
@@ -219,4 +278,191 @@ func (lw *Large) DeliveryRatio() float64 {
 		return 0
 	}
 	return float64(lw.Replies) / float64(lw.Sent)
+}
+
+// probePort and probeBytes shape the non-ICMP probe traffic: 32-byte
+// probes to the Internet host's echo service, matching the ICMP mode's
+// 32-byte pings so the channel load is comparable across transports.
+const (
+	probePort  = 7 // the echo service, as ever
+	probeBytes = 32
+)
+
+// startTCPTraffic runs the probe schedule over one persistent
+// SOCK_STREAM per station: a probe is a 32-byte write, its round trip
+// completes when 32 echoed bytes return. TCP's own retransmission
+// means probes are rarely *lost* — they are late, and a backlogged
+// stream shows up as a sagging delivery ratio at the horizon plus a
+// growing RTT tail, which is exactly how an interactive session on a
+// saturated channel feels.
+func (lw *Large) startTCPTraffic() {
+	inetSL := lw.Internet.Sockets()
+	ln, err := inetSL.Listen(probePort, len(lw.Stations))
+	if err != nil {
+		panic(err)
+	}
+	socket.AcceptLoop(ln, func(s *socket.Socket) {
+		w := socket.NewWriter(s)
+		socket.Pump(s, func(p []byte) { w.Write(append([]byte(nil), p...)) }, nil)
+	})
+	lw.eachProbeTick(func(st *Host) func() {
+		p := &tcpProber{lw: lw, sl: st.Sockets()}
+		return p.send
+	})
+}
+
+// startRDMTraffic runs the probe schedule over SOCK_RDM: one Reliable
+// (unordered) message per probe, seq-stamped in the payload, echoed
+// message-for-message by the Internet host. Like TCP the transport
+// retransmits, so losses surface as latency; unlike TCP one late
+// probe never holds up the ones behind it.
+func (lw *Large) startRDMTraffic() {
+	inetSL := lw.Internet.Sockets()
+	// The Internet host has no radio port, so its socket layer defaults
+	// to the fast-link RDM profile — but its echo replies cross the
+	// radio channel all the same, and a 1 s RTO floor would retransmit
+	// into every multi-second radio RTT.
+	inetSL.RDMDefaults = rdm.RadioProfile()
+	ln, err := inetSL.ListenRDM(probePort)
+	if err != nil {
+		panic(err)
+	}
+	socket.AcceptLoopRDM(ln, func(s *socket.Socket) {
+		drain := func() {
+			for {
+				d, err := s.RecvMsg()
+				if err != nil {
+					return
+				}
+				s.SendMsg(d.Mode, d.Data)
+			}
+		}
+		s.OnReadable = drain
+		drain()
+	})
+	lw.eachProbeTick(func(st *Host) func() {
+		p := &rdmProber{lw: lw, sl: st.Sockets()}
+		return p.send
+	})
+}
+
+// eachProbeTick arms the shared probe schedule: for each station,
+// build its probe func, fire it once at the station's phase offset and
+// then every PingInterval — the same cadence startPingTraffic keeps.
+func (lw *Large) eachProbeTick(build func(st *Host) func()) {
+	n := len(lw.Stations)
+	for i, st := range lw.Stations {
+		probe := build(st)
+		phase := time.Duration(int64(lw.Cfg.PingInterval) * int64(i) / int64(n))
+		lw.W.Sched.After(phase, func() {
+			probe()
+			lw.W.Sched.Every(lw.Cfg.PingInterval, probe)
+		})
+	}
+}
+
+// tcpProber keeps one station's persistent echo stream. Outstanding
+// probes queue FIFO; a dead stream forfeits them (they stay counted as
+// sent) and redials before the next probe.
+type tcpProber struct {
+	lw   *Large
+	sl   *socket.Layer
+	sock *socket.Socket
+	wr   *socket.Writer
+	sent []sim.Time // send time per outstanding probe, FIFO
+	got  int        // echoed bytes toward the next completion
+	dead bool
+}
+
+func (p *tcpProber) redial() {
+	p.dead = false
+	p.sent = nil
+	p.got = 0
+	p.sock = p.sl.Dial(LargeInternetIP, probePort)
+	p.wr = socket.NewWriter(p.sock)
+	socket.Pump(p.sock, p.recv, func(error) { p.dead = true })
+}
+
+func (p *tcpProber) recv(b []byte) {
+	p.got += len(b)
+	for p.got >= probeBytes && len(p.sent) > 0 {
+		p.got -= probeBytes
+		p.lw.Replies++
+		p.lw.RTTs = append(p.lw.RTTs, p.lw.W.Sched.Now().Sub(p.sent[0]))
+		p.sent = p.sent[1:]
+	}
+}
+
+func (p *tcpProber) send() {
+	if p.sock == nil || p.dead {
+		p.redial()
+	}
+	p.lw.Sent++
+	p.sent = append(p.sent, p.lw.W.Sched.Now())
+	p.wr.Write(make([]byte, probeBytes))
+}
+
+// rdmProber sends one station's probes as Reliable messages and
+// matches echoes back to send times by the seq stamped into the
+// payload's first two bytes.
+type rdmProber struct {
+	lw   *Large
+	sl   *socket.Layer
+	sock *socket.Socket
+	seq  uint16
+	sent map[uint16]sim.Time
+}
+
+func (p *rdmProber) redial() {
+	if p.sock != nil {
+		p.sock.Close()
+	}
+	p.sent = map[uint16]sim.Time{}
+	s, err := p.sl.DialRDM(LargeInternetIP, probePort)
+	if err != nil {
+		panic(err)
+	}
+	p.sock = s
+	s.OnReadable = p.drain
+}
+
+func (p *rdmProber) drain() {
+	for {
+		d, err := p.sock.RecvMsg()
+		if err != nil {
+			return
+		}
+		if len(d.Data) < 2 {
+			continue
+		}
+		seq := uint16(d.Data[0])<<8 | uint16(d.Data[1])
+		at, ok := p.sent[seq]
+		if !ok {
+			continue
+		}
+		delete(p.sent, seq)
+		p.lw.Replies++
+		p.lw.RTTs = append(p.lw.RTTs, p.lw.W.Sched.Now().Sub(at))
+	}
+}
+
+func (p *rdmProber) send() {
+	if p.sock == nil || p.sock.Err() != nil || p.sock.Closed() {
+		p.redial()
+	}
+	p.lw.Sent++
+	p.seq++
+	buf := make([]byte, probeBytes)
+	buf[0], buf[1] = byte(p.seq>>8), byte(p.seq)
+	if _, err := p.sock.SendMsg(rdm.Reliable, buf); err != nil {
+		// The probe is lost either way; a full window (ErrWouldBlock)
+		// clears on its own, anything else is a dead connection that
+		// redials before the next probe.
+		if err != socket.ErrWouldBlock {
+			p.sock.Close()
+			p.sock = nil
+		}
+		return
+	}
+	p.sent[p.seq] = p.lw.W.Sched.Now()
 }

@@ -64,3 +64,46 @@ func TestLargeWorld200StationsCarriesTraffic(t *testing.T) {
 		t.Fatalf("delivery ratio %.2f below 0.5 — the generated topology is broken", ratio)
 	}
 }
+
+// The probe schedule must carry identically over every transport mode:
+// same cadence, same Sent/Replies/RTTs accounting. On a lightly loaded
+// channel both reliable transports should deliver every probe, and the
+// RDM layer's own counters must corroborate the world's tallies.
+func TestLargeWorldTransportModes(t *testing.T) {
+	for _, tr := range []TransportMode{TransportICMP, TransportTCP, TransportRDM} {
+		t.Run(tr.String(), func(t *testing.T) {
+			lw := NewLarge(LargeConfig{Seed: 5, Stations: 3, Channels: 1,
+				PingInterval: 2 * time.Minute, Transport: tr})
+			lw.W.Run(20 * time.Minute)
+			if lw.Sent < 30 {
+				t.Fatalf("only %d probes sent", lw.Sent)
+			}
+			if ratio := lw.DeliveryRatio(); ratio < 0.9 {
+				t.Fatalf("delivery ratio %.2f on an idle channel", ratio)
+			}
+			if len(lw.RTTs) != int(lw.Replies) {
+				t.Fatalf("%d RTT samples for %d replies", len(lw.RTTs), lw.Replies)
+			}
+			if tr == TransportRDM {
+				rm := lw.Internet.Sockets().RDMActive()
+				if rm == nil || rm.Stats.Delivered < lw.Replies {
+					t.Fatalf("inet rdm delivered %v, want >= %d replies", rm.Stats.Delivered, lw.Replies)
+				}
+			}
+		})
+	}
+}
+
+func TestParseTransportMode(t *testing.T) {
+	for s, want := range map[string]TransportMode{
+		"": TransportICMP, "icmp": TransportICMP, "tcp": TransportTCP, "rdm": TransportRDM,
+	} {
+		got, err := ParseTransportMode(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseTransportMode(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseTransportMode("osi-tp4"); err == nil {
+		t.Fatal("bogus mode accepted")
+	}
+}

@@ -52,6 +52,9 @@ func (w *World) Registry() *obs.Registry {
 			if tp := h.sock.TCPActive(); tp != nil {
 				r.RegisterStruct(hn+".tcp", &tp.Stats)
 			}
+			if rm := h.sock.RDMActive(); rm != nil {
+				r.RegisterStruct(hn+".rdm", &rm.Stats)
+			}
 		}
 		for ifName, p := range h.radios {
 			pn := hn + "." + metricName(ifName)

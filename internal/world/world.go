@@ -25,6 +25,7 @@ import (
 	"packetradio/internal/netrom"
 	"packetradio/internal/obs"
 	"packetradio/internal/radio"
+	"packetradio/internal/rdm"
 	"packetradio/internal/rspf"
 	"packetradio/internal/serial"
 	"packetradio/internal/sim"
@@ -106,16 +107,26 @@ type Host struct {
 }
 
 // Sockets returns the host's socket layer — the one application-facing
-// API over its TCP, UDP and raw-IP transports — creating it on first
-// use. Hosts with a radio port get StreamDefaults with the AX.25-sized
-// MSS (256-byte MTU − 40 bytes of headers), so streams dialed from a
-// radio host fit the channel without IP fragmentation, exactly as the
-// paper's end hosts were configured.
+// API over its TCP, UDP, raw-IP and RDM transports — creating it on
+// first use. Hosts with a radio port get StreamDefaults with a
+// channel-sized MSS (radio MTU − 40 bytes of headers, 216 at the AX.25
+// default), so streams dialed from a radio host fit the channel
+// without IP fragmentation, exactly as the paper's end hosts were
+// configured — and RDMDefaults tuned for the multi-second RTTs of a
+// 1200 bps path (rdm.RadioProfile). Attach radios before the first
+// Sockets call.
 func (h *Host) Sockets() *socket.Layer {
 	if h.sock == nil {
 		h.sock = socket.New(h.Stack)
 		if len(h.radios) > 0 {
-			h.sock.StreamDefaults.MSS = 216
+			mtu := 0
+			for _, rp := range h.radios {
+				if m := rp.Driver.MTU(); mtu == 0 || m < mtu {
+					mtu = m
+				}
+			}
+			h.sock.StreamDefaults.MSS = mtu - 40
+			h.sock.RDMDefaults = rdm.RadioProfile()
 		}
 	}
 	return h.sock
@@ -202,6 +213,11 @@ type RadioConfig struct {
 	Persist  float64       // 0 = KISS default (0.25)
 	SlotTime time.Duration // 0 = KISS default (100 ms)
 
+	// MTU overrides the interface MTU (0 = core.DefaultMTU, the AX.25
+	// 256-byte convention). Larger frames amortize the fixed per-frame
+	// key-up cost — the lever the E17 bulk profile turns.
+	MTU int
+
 	// MAC selects the channel-access policy (default CSMA). DAMA ports
 	// share one dama.Controller per channel, created on first use.
 	MAC MACMode
@@ -247,6 +263,7 @@ func (h *Host) AttachRadio(ch *radio.Channel, ifName string, call string, addr i
 		h.world.DAMA(ch).Join(rf)
 	}
 	drv := core.NewPacketRadioIf(h.world.Sched, ifName, hostEnd, mycall, addr, h.Stack)
+	drv.SetMTU(cfg.MTU)
 	if err := drv.Init(); err != nil {
 		panic(err)
 	}
@@ -418,6 +435,7 @@ type SeattleConfig struct {
 	NumPCs    int  // default 2
 	BitRate   int  // radio channel, default 1200
 	Baud      int  // gateway serial line, default 9600
+	RadioMTU  int  // every radio port's MTU; 0 = core.DefaultMTU (256)
 	WithACL   bool // enable §4.3 access control
 	TNCFilter tnc.FilterMode
 
@@ -481,7 +499,7 @@ func NewSeattle(cfg SeattleConfig) *Seattle {
 	gw := w.Host("uw-gw")
 	gw.AttachEther(s.Ether, "qe0", GatewayEtherIP, ip.MaskClassB)
 	gw.AttachRadio(s.Channel, "pr0", "N7AKR", GatewayIP, ip.MaskClassA,
-		RadioConfig{Baud: cfg.Baud, Filter: cfg.TNCFilter, PerByteSerial: cfg.PerByteSerial, PerSlotCSMA: cfg.PerSlotCSMA, MAC: cfg.MAC})
+		RadioConfig{Baud: cfg.Baud, Filter: cfg.TNCFilter, MTU: cfg.RadioMTU, PerByteSerial: cfg.PerByteSerial, PerSlotCSMA: cfg.PerSlotCSMA, MAC: cfg.MAC})
 	s.GatewayGW = gw.MakeGateway("pr0", "qe0", cfg.WithACL)
 	s.Gateway = gw
 
@@ -489,7 +507,7 @@ func NewSeattle(cfg SeattleConfig) *Seattle {
 		gw2 := w.Host("uw-gw2")
 		gw2.AttachEther(s.Ether, "qe0", Gateway2EtherIP, ip.MaskClassB)
 		gw2.AttachRadio(s.Channel, "pr0", "N7BKR", Gateway2IP, ip.MaskClassA,
-			RadioConfig{Baud: cfg.Baud, Filter: cfg.TNCFilter, PerByteSerial: cfg.PerByteSerial, PerSlotCSMA: cfg.PerSlotCSMA, MAC: cfg.MAC})
+			RadioConfig{Baud: cfg.Baud, Filter: cfg.TNCFilter, MTU: cfg.RadioMTU, PerByteSerial: cfg.PerByteSerial, PerSlotCSMA: cfg.PerSlotCSMA, MAC: cfg.MAC})
 		s.Gateway2GW = gw2.MakeGateway("pr0", "qe0", cfg.WithACL)
 		s.Gateway2 = gw2
 	}
@@ -509,7 +527,7 @@ func NewSeattle(cfg SeattleConfig) *Seattle {
 	for i := 0; i < cfg.NumPCs; i++ {
 		pc := w.Host(fmt.Sprintf("pc%d", i+1))
 		pc.AttachRadio(s.Channel, "pr0", PCCall(i), PCIP(i), ip.MaskClassA,
-			RadioConfig{Baud: cfg.Baud, PerByteSerial: cfg.PerByteSerial, PerSlotCSMA: cfg.PerSlotCSMA, MAC: cfg.MAC})
+			RadioConfig{Baud: cfg.Baud, MTU: cfg.RadioMTU, PerByteSerial: cfg.PerByteSerial, PerSlotCSMA: cfg.PerSlotCSMA, MAC: cfg.MAC})
 		// Everything off net 44 goes via the gateway's radio address.
 		if !cfg.NoStaticRoutes {
 			pc.Stack.Routes.AddDefault(GatewayIP, "pr0")

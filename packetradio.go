@@ -51,6 +51,7 @@ import (
 	"packetradio/internal/ipstack"
 	"packetradio/internal/netrom"
 	"packetradio/internal/radio"
+	"packetradio/internal/rdm"
 	"packetradio/internal/rspf"
 	"packetradio/internal/serial"
 	"packetradio/internal/sim"
@@ -152,10 +153,13 @@ func MustCall(s string) AX25Addr { return ax25.MustAddr(s) }
 type (
 	// Sockets is one host's socket layer (Host.Sockets or NewSockets).
 	Sockets = socket.Layer
-	// Socket is one socket: SOCK_STREAM, SOCK_DGRAM or SOCK_RAW.
+	// Socket is one socket: SOCK_STREAM, SOCK_DGRAM, SOCK_RAW or
+	// SOCK_RDM.
 	Socket = socket.Socket
 	// Listener is a listening stream socket with a bounded backlog.
 	Listener = socket.Listener
+	// RDMListener accepts inbound SOCK_RDM connections.
+	RDMListener = socket.RDMListener
 	// Datagram is a received datagram with its metadata.
 	Datagram = socket.Datagram
 	// Framer assembles lines / counted regions from a byte stream.
@@ -167,6 +171,11 @@ type (
 	TCPConfig = tcp.Config
 	// TCPStats are per-stream transport counters (Socket.StreamStats).
 	TCPStats = tcp.ConnStats
+	// RDMConfig tunes SOCK_RDM sockets (Sockets.RDMDefaults); see
+	// RadioRDMConfig for the 1200 bps profile.
+	RDMConfig = rdm.Config
+	// RDMMode is a per-message SOCK_RDM delivery mode.
+	RDMMode = rdm.Mode
 )
 
 // Socket-layer sentinels (EWOULDBLOCK-style results).
@@ -180,6 +189,15 @@ const (
 	SockStream = socket.SockStream
 	SockDgram  = socket.SockDgram
 	SockRaw    = socket.SockRaw
+	SockRDM    = socket.SockRDM
+)
+
+// SOCK_RDM per-message delivery modes (Socket.SendMsg).
+const (
+	RDMUnreliable        = rdm.Unreliable
+	RDMUnreliableOrdered = rdm.UnreliableOrdered
+	RDMReliable          = rdm.Reliable
+	RDMReliableOrdered   = rdm.ReliableOrdered
 )
 
 // Shutdown directions for Socket.Shutdown.
@@ -200,6 +218,15 @@ func NewWriter(s *Socket) *Writer { return socket.NewWriter(s) }
 // Pump wires a stream socket's readable events into sink; onClose
 // fires once at EOF (nil) or on a connection error.
 func Pump(s *Socket, sink func([]byte), onClose func(error)) { socket.Pump(s, sink, onClose) }
+
+// AcceptLoopRDM arms an RDM listener to hand every inbound connection
+// to fn as it arrives.
+func AcceptLoopRDM(ln *RDMListener, fn func(*Socket)) { socket.AcceptLoopRDM(ln, fn) }
+
+// RadioRDMConfig is the SOCK_RDM tuning for the 1200 bps channel
+// (multi-second RTO floor, lull-seeking coalesced ACK/NAKs). Radio
+// hosts built through World get it automatically.
+func RadioRDMConfig() RDMConfig { return rdm.RadioProfile() }
 
 // Substrate layers.
 type (

@@ -148,6 +148,23 @@ func TestWriteSimCoreBench(t *testing.T) {
 		mac[fmt.Sprintf("n%d", n)] = map[string]any{"csma": c, "dama": d}
 	}
 
+	// E17: the SOCK_RDM-vs-TCP transfer grid. Every field is a pure
+	// function of the seed — packet and message counts gate exactly in
+	// TestEventGate, like the E14/E16 cells above.
+	xfer := map[string]any{}
+	for _, mtu := range []int{256, 576} {
+		for _, tr := range []string{"tcp", "rdm"} {
+			pt := experiments.TransferRun(tr, mtu)
+			xfer[fmt.Sprintf("%s_mtu%d", tr, mtu)] = map[string]float64{
+				"seconds":     pt.Seconds,
+				"goodput_bps": pt.GoodputBPS,
+				"delivered":   float64(pt.Delivered),
+				"pkts_out":    float64(pt.PktsOut),
+				"resent":      float64(pt.Resent),
+			}
+		}
+	}
+
 	report := map[string]any{
 		"description":                              "simulator-core benchmarks: ns values are wall time on the machine that last regenerated this file; events/op values are deterministic",
 		"seattle_ping_ns_per_op_pre_burst":         preBurstSeattlePingNs,
@@ -158,6 +175,7 @@ func TestWriteSimCoreBench(t *testing.T) {
 		"scheduler_allocs_per_op":                  allocs,
 		"e14_scaling":                              scaling,
 		"e16_mac":                                  mac,
+		"e17_transfer":                             xfer,
 	}
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"packetradio/internal/ether"
+	"packetradio/internal/experiments"
 	"packetradio/internal/ip"
 	"packetradio/internal/ipstack"
 	"packetradio/internal/sim"
@@ -197,16 +198,30 @@ func BenchmarkSocketEchoEther(b *testing.B) {
 func TestWriteSocketBench(t *testing.T) {
 	radioStream := radioStreamSeconds(1)
 	etherStream := etherStreamSeconds(1)
+	// The SOCK_RDM rows ride E17's transfer harness: the same 2 KB
+	// Internet -> radio PC push, as four ReliableOrdered messages, at
+	// the paper's two radio MTUs. "rdm" is the apples-to-apples cell
+	// (256-byte frames, like radio_stream above); "rdm_bulk" is the
+	// 576-byte-frame profile where the acceptance bar lives.
+	rdmSmall := experiments.TransferRun("rdm", 256)
+	rdmBulk := experiments.TransferRun("rdm", 576)
 	report := map[string]any{
-		"description":              "socket-layer benchmarks (virtual-clock seconds; deterministic, seed 1)",
-		"radio_stream_bytes":       radioStreamBytes,
-		"radio_stream_s":           radioStream,
-		"radio_stream_goodput_bps": float64(radioStreamBytes*8) / radioStream,
-		"ether_stream_bytes":       etherStreamBytes,
-		"ether_stream_s":           etherStream,
-		"ether_stream_goodput_bps": float64(etherStreamBytes*8) / etherStream,
-		"radio_echo_rtt_s":         radioEchoSeconds(1),
-		"ether_echo_rtt_s":         etherEchoSeconds(1),
+		"description":                 "socket-layer benchmarks (virtual-clock seconds; deterministic, seed 1)",
+		"radio_stream_bytes":          radioStreamBytes,
+		"radio_stream_s":              radioStream,
+		"radio_stream_goodput_bps":    float64(radioStreamBytes*8) / radioStream,
+		"ether_stream_bytes":          etherStreamBytes,
+		"ether_stream_s":              etherStream,
+		"ether_stream_goodput_bps":    float64(etherStreamBytes*8) / etherStream,
+		"radio_echo_rtt_s":            radioEchoSeconds(1),
+		"ether_echo_rtt_s":            etherEchoSeconds(1),
+		"radio_rdm_s":                 rdmSmall.Seconds,
+		"radio_rdm_goodput_bps":       rdmSmall.GoodputBPS,
+		"radio_rdm_resent":            float64(rdmSmall.Resent),
+		"radio_rdm_bulk_s":            rdmBulk.Seconds,
+		"radio_rdm_bulk_goodput_bps":  rdmBulk.GoodputBPS,
+		"radio_rdm_bulk_resent":       float64(rdmBulk.Resent),
+		"radio_rdm_speedup_vs_stream": rdmBulk.GoodputBPS / (float64(radioStreamBytes*8) / radioStream),
 	}
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -217,5 +232,10 @@ func TestWriteSocketBench(t *testing.T) {
 	}
 	if report["radio_stream_goodput_bps"].(float64) > 1200 {
 		t.Fatalf("radio goodput %v bps exceeds the 1200 bps channel", report["radio_stream_goodput_bps"])
+	}
+	// The SOCK_RDM acceptance bar: Reliable-mode goodput at least 2x
+	// the TCP stream baseline on the same 1200 bps path.
+	if stream := report["radio_stream_goodput_bps"].(float64); rdmBulk.GoodputBPS < 2*stream {
+		t.Fatalf("radio_rdm_bulk_goodput_bps %.0f < 2x radio_stream_goodput_bps %.0f", rdmBulk.GoodputBPS, stream)
 	}
 }
