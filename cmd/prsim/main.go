@@ -25,10 +25,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"packetradio/internal/ax25"
+	"packetradio/internal/experiments"
 	"packetradio/internal/ip"
 	"packetradio/internal/obs"
 	"packetradio/internal/radio"
@@ -126,6 +129,11 @@ func main() {
 	macFlag := flag.String("mac", "csma", "channel access: csma (p-persistent) or dama (polled)")
 	stations := flag.Int("stations", 0, "scale mode: N stations on one channel with a ping-fate ledger (0 = Seattle scenario)")
 	transportFlag := flag.String("transport", "icmp", "scale mode probe transport: icmp, tcp or rdm")
+	channels := flag.Int("channels", 1, "scale mode: radio channels, stations spread round-robin, one gateway each")
+	workersFlag := flag.Int("workers", 0, "scale mode: run on the sharded engine with this many window executors (0 = single-loop reference)")
+	seeds := flag.Int("seeds", 0, "Monte-Carlo mode: step the scale world under this many independent seeds and report delivery/RTT percentiles (runs -workers seeds concurrently)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	var of obsFlags
 	flag.BoolVar(&of.netstat, "netstat", false, "print every metric in the registry at the end of the run")
 	flag.StringVar(&of.pcap, "pcap", "", "capture the gateway's KISS seam to this pcap file")
@@ -146,8 +154,44 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Printf("# cpuprofile -> %s\n", *cpuprofile)
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			f.Close()
+			fmt.Printf("# memprofile -> %s\n", *memprofile)
+		}()
+	}
+
+	if *seeds > 0 {
+		runSweep(*seeds, *stations, *channels, *workersFlag, *dur)
+		return
+	}
 	if *stations > 0 {
-		runScale(*stations, mac, transport, *seed, *bps, *dur, &of)
+		runScale(*stations, *channels, *workersFlag, mac, transport, *seed, *bps, *dur, &of)
 		return
 	}
 
@@ -223,21 +267,26 @@ func main() {
 	_ = os.Stdout
 }
 
-// runScale is the E16-style scale mode: N stations share ONE channel
-// behind one gateway, each probing the Internet host once a minute.
-// With the default ICMP transport an obs.PingLedger watches every seam
-// and accounts for every ping ever sent — delivered, lost to a named
-// drop reason, or still pending at a named stage. With -transport tcp
-// or rdm the same probe schedule rides a real transport instead, so
-// losses become latency and the summary reports transport counters in
-// place of the (ICMP-only) fate ledger.
-func runScale(n int, mac world.MACMode, transport world.TransportMode, seed int64, bps int, dur time.Duration, of *obsFlags) {
+// runScale is the E16-style scale mode: N stations spread over
+// -channels radio channels (default one), each channel behind its own
+// gateway, each station probing the Internet host once a minute. With
+// the default ICMP transport on the single-loop engine an
+// obs.PingLedger watches every seam and accounts for every ping ever
+// sent — delivered, lost to a named drop reason, or still pending at a
+// named stage. With -transport tcp or rdm the same probe schedule
+// rides a real transport instead, so losses become latency and the
+// summary reports transport counters in place of the fate ledger.
+// With -workers > 0 the world runs on the sharded engine (DESIGN.md
+// §3g) — results are identical, big worlds step much faster, and the
+// ledger (whose taps are not shard-safe) stays off.
+func runScale(n, channels, workers int, mac world.MACMode, transport world.TransportMode, seed int64, bps int, dur time.Duration, of *obsFlags) {
 	lw := world.NewLarge(world.LargeConfig{
-		Seed: seed, Stations: n, Channels: 1, BitRate: bps,
+		Seed: seed, Stations: n, Channels: channels, BitRate: bps,
 		PingInterval: time.Minute, MAC: mac, Transport: transport,
+		Workers: workers,
 	})
 	var ledger *obs.PingLedger
-	if transport == world.TransportICMP {
+	if transport == world.TransportICMP && workers == 0 {
 		ledger = lw.W.AttachPingLedger()
 	}
 	finish, err := of.attach(lw.W, "gw1")
@@ -245,18 +294,34 @@ func runScale(n int, mac world.MACMode, transport world.TransportMode, seed int6
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	fmt.Printf("# scale mode: %d stations, one %d bps channel, mac=%v, transport=%v, 60 s probe interval\n",
-		n, bps, mac, transport)
+	engine := "single-loop"
+	if workers > 0 {
+		engine = fmt.Sprintf("sharded (%d shards, %d workers)", len(lw.W.Shards().Shards()), lw.W.Shards().Workers())
+	}
+	fmt.Printf("# scale mode: %d stations, %d x %d bps channels, mac=%v, transport=%v, %s engine, 60 s probe interval\n",
+		n, channels, bps, mac, transport, engine)
 	lw.W.Run(30 * time.Second) // warm-up: ARP, first probe wave, DAMA election
 	lw.W.Run(dur)
 
 	fmt.Printf("# probes: sent=%d replies=%d delivery=%.0f%%\n",
 		lw.Sent, lw.Replies, lw.DeliveryRatio()*100)
-	ch := lw.Channels[0]
-	fmt.Printf("# channel: utilization=%.1f%% collisions=%d\n",
-		ch.Utilization()*100, ch.Stats.CollisionPairs)
+	util, coll := 0.0, uint64(0)
+	for _, ch := range lw.Channels {
+		util += ch.Utilization()
+		coll += ch.Stats.CollisionPairs
+	}
+	fmt.Printf("# channels: mean utilization=%.1f%% collisions=%d\n",
+		util/float64(len(lw.Channels))*100, coll)
+	if workers > 0 {
+		g := lw.W.Shards()
+		fmt.Printf("# sharded engine: events=%d windows=%d crossings=%d\n",
+			lw.W.EventsFired(), g.Windows(), g.Crossings())
+	}
 	switch transport {
 	case world.TransportICMP:
+		if ledger == nil {
+			break // sharded engine: the ledger's taps are not shard-safe
+		}
 		fmt.Println("# ping fates (first thing that went wrong, most common first):")
 		ledger.WriteFates(os.Stdout)
 	case world.TransportTCP:
@@ -272,6 +337,29 @@ func runScale(n int, mac world.MACMode, transport world.TransportMode, seed int6
 		}
 	}
 	finish()
+}
+
+// runSweep is the Monte-Carlo mode: the same scale world stepped under
+// -seeds independent seeds, up to -workers of them concurrently (each
+// world is itself single-loop — independent seeds are embarrassingly
+// parallel, no conservative protocol needed). Reports the delivery and
+// RTT distributions a single deterministic run cannot show.
+func runSweep(seeds, stations, channels, workers int, dur time.Duration) {
+	if stations <= 0 {
+		stations = 200
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("# monte-carlo: %d seeds x %d stations / %d channels, %d concurrent runs, %v timed\n",
+		seeds, stations, channels, workers, dur)
+	start := time.Now()
+	pt := experiments.Sweep(seeds, stations, channels, workers, dur)
+	fmt.Printf("# delivery: median=%.1f%% p95-worst=%.1f%% min=%.1f%%\n",
+		pt.DeliveryMedian*100, pt.DeliveryP95*100, pt.DeliveryMin*100)
+	fmt.Printf("# rtt:      median=%.2fs p95=%.2fs\n",
+		pt.RTTMedian.Seconds(), pt.RTTP95.Seconds())
+	fmt.Printf("# wall: %.1fs\n", time.Since(start).Seconds())
 }
 
 func addChatter(s *world.Seattle, loadPct int) {

@@ -40,6 +40,14 @@ func TestEventGate(t *testing.T) {
 			PktsOut   float64 `json:"pkts_out"`
 			Resent    float64 `json:"resent"`
 		} `json:"e17_transfer"`
+		E18Parallel map[string]struct {
+			EventsPerSimS    float64 `json:"events_per_sim_s"`
+			EventsPerSimSSeq float64 `json:"events_per_sim_s_seq"`
+			Replies          float64 `json:"replies"`
+			DeliveryRatio    float64 `json:"delivery_ratio"`
+			Crossings        float64 `json:"crossings"`
+			Windows          float64 `json:"windows"`
+		} `json:"e18_parallel"`
 	}
 	if err := json.Unmarshal(raw, &committed); err != nil {
 		t.Fatal(err)
@@ -120,6 +128,43 @@ func TestEventGate(t *testing.T) {
 			}
 		}
 	}
+	// E18 cells: the sharded engine runs both engines per cell and every
+	// non-wall field is deterministic — event rates, crossings, window
+	// counts and delivery all gate exactly. The replies check holds the
+	// sharded engine to the sequential engine's delivery (the engines
+	// must agree run for run, not just match a committed number), which
+	// is the gate's "TestEventGate passes on both engines" obligation.
+	for _, cell := range experiments.E18Cells() {
+		key := fmt.Sprintf("n%d_c%d", cell[0], cell[1])
+		want, ok := committed.E18Parallel[key]
+		if !ok {
+			t.Fatalf("baseline has no e18_parallel.%s", key)
+		}
+		pt := experiments.ParallelRun(cell[0], cell[1], cell[2])
+		if pt.ShardReplies != pt.SeqReplies {
+			t.Errorf("E18 %s: engines disagree — sequential %d replies, sharded %d",
+				key, pt.SeqReplies, pt.ShardReplies)
+		}
+		if float64(pt.ShardReplies) != want.Replies {
+			t.Errorf("E18 %s replies = %d, committed %v", key, pt.ShardReplies, want.Replies)
+		}
+		if pt.ShardEventsPerSimS != want.EventsPerSimS {
+			t.Errorf("E18 %s events_per_sim_s = %v, committed %v", key, pt.ShardEventsPerSimS, want.EventsPerSimS)
+		}
+		if pt.SeqEventsPerSimS != want.EventsPerSimSSeq {
+			t.Errorf("E18 %s events_per_sim_s_seq = %v, committed %v", key, pt.SeqEventsPerSimS, want.EventsPerSimSSeq)
+		}
+		if pt.Delivery != want.DeliveryRatio {
+			t.Errorf("E18 %s delivery_ratio = %v, committed %v", key, pt.Delivery, want.DeliveryRatio)
+		}
+		if float64(pt.Crossings) != want.Crossings {
+			t.Errorf("E18 %s crossings = %v, committed %v", key, pt.Crossings, want.Crossings)
+		}
+		if float64(pt.Windows) != want.Windows {
+			t.Errorf("E18 %s windows = %v, committed %v", key, pt.Windows, want.Windows)
+		}
+	}
+
 	if rdm576 := committed.E17Transfer["rdm_mtu576"]; rdm576.Resent != 0 {
 		t.Errorf("committed baseline itself carries %v retransmissions on a lossless channel", rdm576.Resent)
 	}

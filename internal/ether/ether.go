@@ -13,6 +13,7 @@ package ether
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"packetradio/internal/arp"
@@ -51,14 +52,27 @@ type Segment struct {
 	sched   *sim.Scheduler
 	bitRate int
 	nics    []*NIC
+	byMAC   map[MAC]*NIC
 	nextMAC uint32
+
+	// group, when non-nil, is the sharded engine this segment is a seam
+	// of (DESIGN.md §3g): NICs may live on different shard schedulers,
+	// and frames for them cross as timestamped inter-shard messages.
+	// Unicast frames are routed to the owner of the destination MAC
+	// alone — the model's receive filter discards them everywhere else
+	// anyway (no promiscuous ether), so routing changes which shard does
+	// the discarding, not what is delivered, and it turns the broadcast
+	// fan-out's O(attached NICs) scheduled events per frame into O(1).
+	group *sim.Group
 
 	// blocked holds ordered NIC pairs (from,to) whose frames are
 	// suppressed — a cut cable or failed transceiver tap, used by the
 	// topology-churn experiments. Default (empty) is full connectivity.
+	// In sharded mode it must not be mutated while the world runs.
 	blocked map[[2]*NIC]bool
 
-	// Stats.
+	// Stats. Updated atomically: in sharded mode NICs on different
+	// shards transmit concurrently.
 	Frames uint64
 	Bytes  uint64
 }
@@ -68,7 +82,25 @@ func NewSegment(sched *sim.Scheduler, bitRate int) *Segment {
 	if bitRate <= 0 {
 		bitRate = DefaultBitRate
 	}
-	return &Segment{sched: sched, bitRate: bitRate, nextMAC: 1, blocked: make(map[[2]*NIC]bool)}
+	return &Segment{sched: sched, bitRate: bitRate, nextMAC: 1,
+		byMAC: make(map[MAC]*NIC), blocked: make(map[[2]*NIC]bool)}
+}
+
+// EnableSharding declares the segment a seam of group g: frames between
+// NICs on different shard schedulers travel as cross-shard messages.
+// Call after all NICs are attached via AttachOn.
+func (g *Segment) EnableSharding(grp *sim.Group) { g.group = grp }
+
+// MinFrameTime is the shortest possible frame serialization delay on a
+// segment at bitRate (0 = DefaultBitRate) — the conservative lookahead
+// bound for shards whose only outbound seam is an Ethernet leg: no
+// event in such a shard can put a frame on a neighbor's NIC sooner
+// than this after firing.
+func MinFrameTime(bitRate int) time.Duration {
+	if bitRate <= 0 {
+		bitRate = DefaultBitRate
+	}
+	return (&Segment{bitRate: bitRate}).txTime(0)
 }
 
 // SetReachable declares whether frames from one NIC reach another
@@ -88,6 +120,7 @@ type NIC struct {
 	name  string
 	mac   MAC
 	seg   *Segment
+	sched *sim.Scheduler // the NIC's event context (its host's shard)
 	stack Input
 	res   *arp.Resolver
 	up    bool
@@ -103,6 +136,15 @@ type Input interface {
 // Attach creates a NIC on segment g with the given interface name and
 // IP identity, delivering received datagrams to stack.
 func (g *Segment) Attach(name string, addr ip.Addr, stack Input) *NIC {
+	return g.AttachOn(g.sched, name, addr, stack)
+}
+
+// AttachOn is Attach with the NIC's event context pinned to sched: ARP
+// timers and frame receptions for this NIC run there. The sharded
+// engine attaches each NIC on its host's shard scheduler; on the
+// single-loop engine sched is the segment's own scheduler and AttachOn
+// is exactly Attach.
+func (g *Segment) AttachOn(sched *sim.Scheduler, name string, addr ip.Addr, stack Input) *NIC {
 	var mac MAC
 	mac[0] = 0x08 // DEC OUI-ish prefix 08:00:2b
 	mac[1] = 0x00
@@ -111,11 +153,12 @@ func (g *Segment) Attach(name string, addr ip.Addr, stack Input) *NIC {
 	mac[4] = byte(g.nextMAC >> 8)
 	mac[5] = byte(g.nextMAC)
 	g.nextMAC++
-	n := &NIC{name: name, mac: mac, seg: g, stack: stack, mtu: MTU}
-	n.res = arp.NewResolver(g.sched, arp.HTypeEthernet, mac[:], addr)
+	n := &NIC{name: name, mac: mac, seg: g, sched: sched, stack: stack, mtu: MTU}
+	n.res = arp.NewResolver(sched, arp.HTypeEthernet, mac[:], addr)
 	n.res.SendPacket = n.sendARP
 	n.res.Deliver = n.deliverIP
 	g.nics = append(g.nics, n)
+	g.byMAC[mac] = n
 	return n
 }
 
@@ -198,16 +241,54 @@ func (n *NIC) transmit(dst MAC, etherType uint16, payload []byte) {
 	copy(frame[14:], payload)
 
 	g := n.seg
-	g.Frames++
-	g.Bytes += uint64(len(frame))
+	atomic.AddUint64(&g.Frames, 1)
+	atomic.AddUint64(&g.Bytes, uint64(len(frame)))
 	delay := g.txTime(len(payload))
+	if g.group == nil {
+		// Single-loop engine: the seed broadcast physics, one scheduled
+		// reception per attached NIC (the receive filter discards frames
+		// not addressed to it).
+		for _, other := range g.nics {
+			if other == n || g.blocked[[2]*NIC{n, other}] {
+				continue
+			}
+			o := other
+			g.sched.After(delay, func() { o.receive(frame) })
+		}
+		return
+	}
+	// Sharded engine: same wire timing, but unicast frames go only to
+	// the owner of the destination MAC — every other NIC would discard
+	// them on reception anyway — and each delivery lands in the
+	// receiver's shard, cross-shard ones as timestamped seam messages
+	// carrying their own copy of the frame.
+	at := n.sched.Now().Add(delay)
+	if dst != BroadcastMAC {
+		o := g.byMAC[dst]
+		if o == nil || o == n || g.blocked[[2]*NIC{n, o}] {
+			return
+		}
+		n.deliverAt(o, at, frame)
+		return
+	}
 	for _, other := range g.nics {
 		if other == n || g.blocked[[2]*NIC{n, other}] {
 			continue
 		}
-		o := other
-		g.sched.After(delay, func() { o.receive(frame) })
+		n.deliverAt(other, at, frame)
 	}
+}
+
+// deliverAt schedules one reception in o's shard. Cross-shard
+// receivers get a private copy: shards run concurrently, and the
+// receive path hands the payload slice to the IP input queue.
+func (n *NIC) deliverAt(o *NIC, at sim.Time, frame []byte) {
+	if o.sched == n.sched {
+		n.sched.At(at, func() { o.receive(frame) })
+		return
+	}
+	cp := append([]byte(nil), frame...)
+	n.seg.group.Send(n.sched, o.sched, at, func() { o.receive(cp) })
 }
 
 func (n *NIC) receive(frame []byte) {

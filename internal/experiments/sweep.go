@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"packetradio/internal/world"
+)
+
+// SweepPoint summarizes a Monte-Carlo sweep: the same world stepped
+// under many independent seeds, with delivery and RTT distributions
+// across them. Each seed's run is deterministic, and the aggregation
+// sorts before taking percentiles, so the whole point is reproducible
+// regardless of how many runner goroutines executed the sweep.
+type SweepPoint struct {
+	Seeds    int
+	Stations int
+	Channels int
+
+	Delivery []float64 // per-seed delivery ratios, in seed order
+
+	DeliveryMedian float64
+	DeliveryP95    float64 // 95th percentile worst — the tail seed
+	DeliveryMin    float64
+
+	RTTMedian time.Duration // pooled across all seeds' replies
+	RTTP95    time.Duration
+}
+
+// Sweep steps the standard scale world (stations over channels, one
+// ping per station per minute, 30 s warm-up plus dur timed) once per
+// seed 1..seeds, running up to workers seeds concurrently. Seeds are
+// independent worlds, so this is process-level parallelism — each
+// world itself runs the single-loop reference engine, and the sharded
+// engine's determinism machinery is not involved. Median/p95 delivery
+// are taken across seeds; median/p95 RTT over the pooled replies.
+func Sweep(seeds, stations, channels, workers int, dur time.Duration) SweepPoint {
+	if seeds < 1 {
+		seeds = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	deliveries := make([]float64, seeds)
+	rtts := make([][]time.Duration, seeds)
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := 0; i < seeds; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			lw := world.NewLarge(world.LargeConfig{
+				Seed:         int64(i + 1),
+				Stations:     stations,
+				Channels:     channels,
+				PingInterval: time.Minute,
+			})
+			lw.W.Run(30 * time.Second)
+			lw.W.Run(dur)
+			deliveries[i] = lw.DeliveryRatio()
+			rtts[i] = append([]time.Duration(nil), lw.RTTs...)
+		}(i)
+	}
+	wg.Wait()
+
+	pt := SweepPoint{Seeds: seeds, Stations: stations, Channels: channels,
+		Delivery: deliveries}
+	sorted := append([]float64(nil), deliveries...)
+	sort.Float64s(sorted)
+	pt.DeliveryMin = sorted[0]
+	pt.DeliveryMedian = sorted[len(sorted)/2]
+	// P95 here is the tail *worst* seed: the 5th-percentile delivery,
+	// which is what a capacity planner asks for ("how bad can a bad
+	// seed get").
+	pt.DeliveryP95 = sorted[len(sorted)/20]
+
+	var pool []time.Duration
+	for _, r := range rtts {
+		pool = append(pool, r...)
+	}
+	if len(pool) > 0 {
+		sort.Slice(pool, func(i, j int) bool { return pool[i] < pool[j] })
+		pt.RTTMedian = pool[len(pool)/2]
+		pt.RTTP95 = pool[len(pool)*95/100]
+	}
+	return pt
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
 	"packetradio/internal/sim"
 )
@@ -146,6 +147,155 @@ func (fr *FlightRecorder) WriteTrace(w io.Writer) error {
 	buf = append(buf, '\n')
 	_, err = w.Write(buf)
 	return err
+}
+
+// MultiRecorder aggregates per-lane flight recorders into one
+// instrument — the sharded engine's recorder (one lane per shard, each
+// written only by its shard's goroutine, so recording needs no locks)
+// and, degenerately, the single-loop engine's (one lane). Reading —
+// Len, Events, WriteTrace, Dump — merges the lanes ordered by virtual
+// time; call only with no run in flight.
+type MultiRecorder struct {
+	names []string
+	lanes []*FlightRecorder
+}
+
+// NewMultiRecorder builds an empty recorder; add lanes with Lane.
+func NewMultiRecorder() *MultiRecorder { return &MultiRecorder{} }
+
+// Lane creates (or returns) the named lane's ring with the given
+// capacity (<=0 takes DefaultFlightCap; the capacity of an existing
+// lane is not changed).
+func (m *MultiRecorder) Lane(name string, capacity int) *FlightRecorder {
+	for i, n := range m.names {
+		if n == name {
+			return m.lanes[i]
+		}
+	}
+	fr := NewFlightRecorder(capacity)
+	m.names = append(m.names, name)
+	m.lanes = append(m.lanes, fr)
+	return fr
+}
+
+// Lanes lists the lane names in creation order.
+func (m *MultiRecorder) Lanes() []string { return append([]string(nil), m.names...) }
+
+// Len sums held events across lanes.
+func (m *MultiRecorder) Len() int {
+	n := 0
+	for _, fr := range m.lanes {
+		n += fr.Len()
+	}
+	return n
+}
+
+// Dropped sums overwritten events across lanes.
+func (m *MultiRecorder) Dropped() uint64 {
+	var n uint64
+	for _, fr := range m.lanes {
+		n += fr.Dropped()
+	}
+	return n
+}
+
+// merged returns every lane's events with lane indices, ordered by
+// virtual time (ties: lane order, then each lane's own order — the
+// deterministic merge the cross-shard inbox uses).
+func (m *MultiRecorder) merged() []struct {
+	lane int
+	ev   FlightEvent
+} {
+	var out []struct {
+		lane int
+		ev   FlightEvent
+	}
+	for i, fr := range m.lanes {
+		for _, e := range fr.Events() {
+			out = append(out, struct {
+				lane int
+				ev   FlightEvent
+			}{i, e})
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].ev.T != out[b].ev.T {
+			return out[a].ev.T < out[b].ev.T
+		}
+		return out[a].lane < out[b].lane
+	})
+	return out
+}
+
+// Events returns all lanes' events merged oldest-first.
+func (m *MultiRecorder) Events() []FlightEvent {
+	ms := m.merged()
+	out := make([]FlightEvent, len(ms))
+	for i, e := range ms {
+		out[i] = e.ev
+	}
+	return out
+}
+
+// WriteTrace dumps all lanes as one Chrome trace_event JSON timeline:
+// one process per lane (named via process_name metadata, so a sharded
+// run renders one swimlane group per shard), one thread per category
+// within it, every event stamped with virtual-time microseconds and
+// ordered by virtual time — a parallel run's trace reads exactly like
+// a sequential one's.
+func (m *MultiRecorder) WriteTrace(w io.Writer) error {
+	out := struct {
+		TraceEvents []traceEvent `json:"traceEvents"`
+	}{}
+	for i, name := range m.names {
+		out.TraceEvents = append(out.TraceEvents, traceEvent{
+			Name: "process_name", Phase: "M", PID: i + 1,
+			Args: map[string]string{"name": name},
+		})
+	}
+	type laneCat struct {
+		lane int
+		cat  string
+	}
+	tids := map[laneCat]int{}
+	for _, e := range m.merged() {
+		key := laneCat{e.lane, e.ev.Cat}
+		tid, ok := tids[key]
+		if !ok {
+			tid = len(tids) + 1
+			tids[key] = tid
+		}
+		te := traceEvent{
+			Name: e.ev.Name, Cat: e.ev.Cat, Phase: "i", Scope: "t",
+			TS:  float64(e.ev.T.Duration().Microseconds()),
+			PID: e.lane + 1, TID: tid,
+		}
+		if e.ev.Arg != "" {
+			te.Args = map[string]string{"arg": e.ev.Arg}
+		}
+		out.TraceEvents = append(out.TraceEvents, te)
+	}
+	buf, err := json.Marshal(out)
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}
+
+// Dump writes all lanes merged as plain text, one line per event.
+func (m *MultiRecorder) Dump(w io.Writer) {
+	for _, e := range m.merged() {
+		if e.ev.Arg != "" {
+			fmt.Fprintf(w, "%12.6f %-8s %-6s %s %s\n", e.ev.T.Seconds(), m.names[e.lane], e.ev.Cat, e.ev.Name, e.ev.Arg)
+		} else {
+			fmt.Fprintf(w, "%12.6f %-8s %-6s %s\n", e.ev.T.Seconds(), m.names[e.lane], e.ev.Cat, e.ev.Name)
+		}
+	}
+	if d := m.Dropped(); d > 0 {
+		fmt.Fprintf(w, "(%d earlier events overwritten)\n", d)
+	}
 }
 
 // Dump writes the ring as plain text, one line per event — the test-

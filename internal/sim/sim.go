@@ -112,6 +112,13 @@ type Scheduler struct {
 	seed    int64
 	derived uint64
 
+	// deriveFn, when non-nil, redirects DeriveSeed to a shared source.
+	// The sharded engine points every shard scheduler at one Group-wide
+	// counter so a world built across K shards consumes the exact same
+	// derived-seed sequence as the same construction code running on a
+	// single scheduler — the root of the engines' bit-equivalence.
+	deriveFn func() int64
+
 	// EventHook, when non-nil, observes every fired event (after the
 	// clock advances, before the callback runs). The name is the one
 	// given to NamedAfter, or "" for anonymous events. It must not
@@ -133,6 +140,9 @@ func NewScheduler(seed int64) *Scheduler {
 // shared Rand stream — so adding a derived-seed user never perturbs
 // existing seeded scenarios.
 func (s *Scheduler) DeriveSeed() int64 {
+	if s.deriveFn != nil {
+		return s.deriveFn()
+	}
 	s.derived++
 	// splitmix64 over (seed, call index).
 	x := uint64(s.seed) + 0x9e3779b97f4a7c15*s.derived
@@ -277,6 +287,22 @@ func (s *Scheduler) RunUntil(t Time) uint64 {
 	}
 	if !s.halted && s.now < t {
 		s.now = t
+	}
+	return s.fired - start
+}
+
+// RunBefore executes events with deadlines strictly before t and stops
+// without touching the clock otherwise: unlike RunUntil it neither runs
+// events at exactly t nor advances now to t. The sharded engine's
+// window loop uses it — a window bound is a safety horizon, not a time
+// the shard has reached, so the clock must stay at the last event
+// actually processed (the shard's earliest-output-time computation
+// reads the head of the queue, not the clock).
+func (s *Scheduler) RunBefore(t Time) uint64 {
+	start := s.fired
+	s.halted = false
+	for !s.halted && len(s.queue) > 0 && s.queue[0].when < t {
+		s.Step()
 	}
 	return s.fired - start
 }

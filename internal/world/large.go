@@ -11,6 +11,8 @@ package world
 
 import (
 	"fmt"
+	"runtime"
+	"sort"
 	"time"
 
 	"packetradio/internal/ether"
@@ -100,6 +102,17 @@ type LargeConfig struct {
 	// identically; what differs is the protocol machinery under them.
 	Transport TransportMode
 
+	// Workers selects the engine. 0 (the default) is the single-loop
+	// engine: one scheduler, the reference for every event gate. Any
+	// positive value builds the world on the sharded engine (one shard
+	// per channel plus an Ethernet backbone shard, DESIGN.md §3g) with
+	// up to Workers window executors — capped at GOMAXPROCS, since
+	// extra goroutines on a saturated machine only add scheduling
+	// overhead and the conservative protocol makes results identical at
+	// every worker count anyway. Tests can force more via
+	// W.Shards().SetWorkers.
+	Workers int
+
 	// NoAutoARP disables the NOS-style ARP conveniences on the radio
 	// ports — gleaning mappings from received IP frames, accepting
 	// unsolicited announcements, and each gateway's periodic
@@ -137,11 +150,83 @@ type Large struct {
 
 	// Replies counts ping replies received per station when
 	// PingInterval traffic is running; Sent counts requests. RTTs
-	// collects every reply's round-trip time in arrival order, so
-	// experiments can report latency distributions (E16's median)
-	// without re-instrumenting the traffic loop.
+	// collects every reply's round-trip time, so experiments can report
+	// latency distributions (E16's median) without re-instrumenting the
+	// traffic loop. The probers accumulate into per-shard slots and
+	// these fields are rebuilt after every W.Run: on the single-loop
+	// engine there is one slot and RTTs keep exact arrival order; on
+	// the sharded engine the slots merge in deterministic
+	// (virtual-time, shard) order.
 	Sent, Replies uint64
 	RTTs          []time.Duration
+
+	// slots holds per-shard probe accumulators: index 0 on the
+	// single-loop engine, index 1+c for channel c's shard on the
+	// sharded one (the backbone shard originates no probes).
+	slots []probeSlot
+}
+
+// probeSlot is one shard's probe accounting. Only events running in
+// that shard touch it, so the sharded engine needs no locks here.
+type probeSlot struct {
+	sent, replies uint64
+	rtts          []rttSample
+}
+
+type rttSample struct {
+	at  sim.Time
+	rtt time.Duration
+}
+
+// slot returns station i's accumulator.
+func (lw *Large) slot(i int) *probeSlot {
+	if len(lw.slots) == 1 {
+		return &lw.slots[0]
+	}
+	return &lw.slots[1+i%lw.Cfg.Channels]
+}
+
+// mergeProbes rebuilds the public Sent/Replies/RTTs fields from the
+// slots. With one slot this is a copy (arrival order preserved); with
+// many it is a deterministic merge — samples ordered by (virtual
+// time, shard), ties within a shard keeping arrival order — so the
+// result is independent of worker count and identical across reruns.
+func (lw *Large) mergeProbes() {
+	lw.Sent, lw.Replies = 0, 0
+	total := 0
+	for i := range lw.slots {
+		lw.Sent += lw.slots[i].sent
+		lw.Replies += lw.slots[i].replies
+		total += len(lw.slots[i].rtts)
+	}
+	if len(lw.slots) == 1 {
+		lw.RTTs = lw.RTTs[:0]
+		for _, s := range lw.slots[0].rtts {
+			lw.RTTs = append(lw.RTTs, s.rtt)
+		}
+		return
+	}
+	type tagged struct {
+		at   sim.Time
+		slot int
+		rtt  time.Duration
+	}
+	all := make([]tagged, 0, total)
+	for i := range lw.slots {
+		for _, s := range lw.slots[i].rtts {
+			all = append(all, tagged{at: s.at, slot: i, rtt: s.rtt})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].at != all[j].at {
+			return all[i].at < all[j].at
+		}
+		return all[i].slot < all[j].slot
+	})
+	lw.RTTs = lw.RTTs[:0]
+	for _, s := range all {
+		lw.RTTs = append(lw.RTTs, s.rtt)
+	}
 }
 
 // LargeInternetIP is the Ethernet host of the generated world.
@@ -164,19 +249,50 @@ func (cfg LargeConfig) LargeStationIP(i int) ip.Addr {
 	return ip.AddrFrom(44, byte(c+1), byte(k/200), byte(10+k%200))
 }
 
-// NewLarge generates the world.
+// NewLarge generates the world. With Cfg.Workers > 0 it builds on the
+// sharded engine: the identical construction code runs with W.Sched
+// pointed at each component's home shard in turn, so the shared
+// derived-seed stream is consumed in exactly the order the single-loop
+// build consumes it — every transceiver's CSMA/noise RNG and every
+// serial line's corruption seed come out identical, which is why the
+// two engines deliver the same traffic (the shard equivalence tests
+// and the event gate hold them to it).
 func NewLarge(cfg LargeConfig) *Large {
 	cfg = cfg.withDefaults()
-	w := New(cfg.Seed)
+	var w *World
+	var shards []*sim.Shard
+	if cfg.Workers > 0 {
+		w, shards = newSharded(cfg.Seed, cfg.Channels)
+		workers := cfg.Workers
+		if procs := runtime.GOMAXPROCS(0); workers > procs {
+			workers = procs
+		}
+		w.group.SetWorkers(workers)
+	} else {
+		w = New(cfg.Seed)
+	}
+	// enter moves construction onto shard i (0 = backbone, 1+c for
+	// channel c); a no-op on the single-loop engine.
+	enter := func(i int) {
+		if shards != nil {
+			w.Sched = shards[i].Sched
+		}
+	}
 	lw := &Large{W: w, Cfg: cfg}
 	lw.Ether = w.Ethernet("uw-cs")
+	if shards != nil {
+		lw.Ether.EnableSharding(w.group)
+	}
 	filter := tnc.AddressFilter
 	if cfg.Promiscuous {
 		filter = tnc.Promiscuous
 	}
 
-	// One gateway per channel, all on the shared Ethernet.
+	// One gateway per channel, all on the shared Ethernet. The gateway
+	// host lives whole in its channel's shard — its Ethernet NIC is the
+	// shard's seam endpoint.
 	for c := 0; c < cfg.Channels; c++ {
+		enter(1 + c)
 		ch := w.Channel(fmt.Sprintf("145.%02d", c+1), cfg.BitRate)
 		lw.Channels = append(lw.Channels, ch)
 		gw := w.Host(fmt.Sprintf("gw%d", c+1))
@@ -190,6 +306,7 @@ func NewLarge(cfg LargeConfig) *Large {
 		gw.MakeGateway("pr0", "qe0", false)
 		lw.Gateways = append(lw.Gateways, gw)
 	}
+	enter(0)
 	// Gateways reach the other channels' subnets across the Ethernet.
 	for c, gw := range lw.Gateways {
 		for c2 := range lw.Gateways {
@@ -214,6 +331,7 @@ func NewLarge(cfg LargeConfig) *Large {
 	// channel's gateway.
 	for i := 0; i < cfg.Stations; i++ {
 		c := i % cfg.Channels
+		enter(1 + c)
 		st := w.Host(fmt.Sprintf("st%d", i))
 		port := st.AttachRadio(lw.Channels[c], "pr0", fmt.Sprintf("S%d", i), cfg.LargeStationIP(i), ip.MaskClassB,
 			RadioConfig{Baud: cfg.Baud, Filter: filter, PerSlotCSMA: cfg.PerSlotCSMA, MAC: cfg.MAC})
@@ -223,7 +341,14 @@ func NewLarge(cfg LargeConfig) *Large {
 		st.Stack.Routes.AddDefault(LargeGatewayRadioIP(c), "pr0")
 		lw.Stations = append(lw.Stations, st)
 	}
+	enter(0)
 
+	if shards != nil {
+		lw.slots = make([]probeSlot, 1+cfg.Channels)
+	} else {
+		lw.slots = make([]probeSlot, 1)
+	}
+	w.OnRunEnd(lw.mergeProbes)
 	if cfg.PingInterval > 0 {
 		lw.startTraffic()
 	}
@@ -255,17 +380,19 @@ func (lw *Large) startPingTraffic() {
 	n := len(lw.Stations)
 	for i, st := range lw.Stations {
 		st := st
+		slot := lw.slot(i)
+		sched := st.Sched() // the station's shard on the sharded engine
 		phase := time.Duration(int64(lw.Cfg.PingInterval) * int64(i) / int64(n))
-		lw.W.Sched.After(phase, func() {
-			lw.Sent++
+		sched.After(phase, func() {
+			slot.sent++
 			id, _ := st.Stack.PingOpen(LargeInternetIP, 32, func(_ uint16, rtt time.Duration, _ ip.Addr) {
-				lw.Replies++
-				lw.RTTs = append(lw.RTTs, rtt)
+				slot.replies++
+				slot.rtts = append(slot.rtts, rttSample{at: sched.Now(), rtt: rtt})
 			})
 			seq := uint16(0)
-			lw.W.Sched.Every(lw.Cfg.PingInterval, func() {
+			sched.Every(lw.Cfg.PingInterval, func() {
 				seq++
-				lw.Sent++
+				slot.sent++
 				st.Stack.PingSeq(LargeInternetIP, id, seq, 32)
 			})
 		})
@@ -305,8 +432,8 @@ func (lw *Large) startTCPTraffic() {
 		w := socket.NewWriter(s)
 		socket.Pump(s, func(p []byte) { w.Write(append([]byte(nil), p...)) }, nil)
 	})
-	lw.eachProbeTick(func(st *Host) func() {
-		p := &tcpProber{lw: lw, sl: st.Sockets()}
+	lw.eachProbeTick(func(st *Host, slot *probeSlot) func() {
+		p := &tcpProber{slot: slot, sched: st.Sched(), sl: st.Sockets()}
 		return p.send
 	})
 }
@@ -340,8 +467,8 @@ func (lw *Large) startRDMTraffic() {
 		s.OnReadable = drain
 		drain()
 	})
-	lw.eachProbeTick(func(st *Host) func() {
-		p := &rdmProber{lw: lw, sl: st.Sockets()}
+	lw.eachProbeTick(func(st *Host, slot *probeSlot) func() {
+		p := &rdmProber{slot: slot, sched: st.Sched(), sl: st.Sockets()}
 		return p.send
 	})
 }
@@ -349,14 +476,15 @@ func (lw *Large) startRDMTraffic() {
 // eachProbeTick arms the shared probe schedule: for each station,
 // build its probe func, fire it once at the station's phase offset and
 // then every PingInterval — the same cadence startPingTraffic keeps.
-func (lw *Large) eachProbeTick(build func(st *Host) func()) {
+func (lw *Large) eachProbeTick(build func(st *Host, slot *probeSlot) func()) {
 	n := len(lw.Stations)
 	for i, st := range lw.Stations {
-		probe := build(st)
+		probe := build(st, lw.slot(i))
+		sched := st.Sched()
 		phase := time.Duration(int64(lw.Cfg.PingInterval) * int64(i) / int64(n))
-		lw.W.Sched.After(phase, func() {
+		sched.After(phase, func() {
 			probe()
-			lw.W.Sched.Every(lw.Cfg.PingInterval, probe)
+			sched.Every(lw.Cfg.PingInterval, probe)
 		})
 	}
 }
@@ -365,13 +493,14 @@ func (lw *Large) eachProbeTick(build func(st *Host) func()) {
 // probes queue FIFO; a dead stream forfeits them (they stay counted as
 // sent) and redials before the next probe.
 type tcpProber struct {
-	lw   *Large
-	sl   *socket.Layer
-	sock *socket.Socket
-	wr   *socket.Writer
-	sent []sim.Time // send time per outstanding probe, FIFO
-	got  int        // echoed bytes toward the next completion
-	dead bool
+	slot  *probeSlot
+	sched *sim.Scheduler // the station's shard
+	sl    *socket.Layer
+	sock  *socket.Socket
+	wr    *socket.Writer
+	sent  []sim.Time // send time per outstanding probe, FIFO
+	got   int        // echoed bytes toward the next completion
+	dead  bool
 }
 
 func (p *tcpProber) redial() {
@@ -387,8 +516,9 @@ func (p *tcpProber) recv(b []byte) {
 	p.got += len(b)
 	for p.got >= probeBytes && len(p.sent) > 0 {
 		p.got -= probeBytes
-		p.lw.Replies++
-		p.lw.RTTs = append(p.lw.RTTs, p.lw.W.Sched.Now().Sub(p.sent[0]))
+		now := p.sched.Now()
+		p.slot.replies++
+		p.slot.rtts = append(p.slot.rtts, rttSample{at: now, rtt: now.Sub(p.sent[0])})
 		p.sent = p.sent[1:]
 	}
 }
@@ -397,8 +527,8 @@ func (p *tcpProber) send() {
 	if p.sock == nil || p.dead {
 		p.redial()
 	}
-	p.lw.Sent++
-	p.sent = append(p.sent, p.lw.W.Sched.Now())
+	p.slot.sent++
+	p.sent = append(p.sent, p.sched.Now())
 	p.wr.Write(make([]byte, probeBytes))
 }
 
@@ -406,11 +536,12 @@ func (p *tcpProber) send() {
 // matches echoes back to send times by the seq stamped into the
 // payload's first two bytes.
 type rdmProber struct {
-	lw   *Large
-	sl   *socket.Layer
-	sock *socket.Socket
-	seq  uint16
-	sent map[uint16]sim.Time
+	slot  *probeSlot
+	sched *sim.Scheduler // the station's shard
+	sl    *socket.Layer
+	sock  *socket.Socket
+	seq   uint16
+	sent  map[uint16]sim.Time
 }
 
 func (p *rdmProber) redial() {
@@ -441,8 +572,9 @@ func (p *rdmProber) drain() {
 			continue
 		}
 		delete(p.sent, seq)
-		p.lw.Replies++
-		p.lw.RTTs = append(p.lw.RTTs, p.lw.W.Sched.Now().Sub(at))
+		now := p.sched.Now()
+		p.slot.replies++
+		p.slot.rtts = append(p.slot.rtts, rttSample{at: now, rtt: now.Sub(at)})
 	}
 }
 
@@ -450,7 +582,7 @@ func (p *rdmProber) send() {
 	if p.sock == nil || p.sock.Err() != nil || p.sock.Closed() {
 		p.redial()
 	}
-	p.lw.Sent++
+	p.slot.sent++
 	p.seq++
 	buf := make([]byte, probeBytes)
 	buf[0], buf[1] = byte(p.seq>>8), byte(p.seq)
@@ -464,5 +596,5 @@ func (p *rdmProber) send() {
 		}
 		return
 	}
-	p.sent[p.seq] = p.lw.W.Sched.Now()
+	p.sent[p.seq] = p.sched.Now()
 }

@@ -11,6 +11,7 @@ import (
 	"packetradio/internal/ipstack"
 	"packetradio/internal/obs"
 	"packetradio/internal/radio"
+	"packetradio/internal/sim"
 )
 
 // This file wires the obs package onto a world: the metrics registry
@@ -43,6 +44,17 @@ func (w *World) Registry() *obs.Registry {
 		if ctl, ok := w.dama[ch]; ok {
 			r.RegisterStruct("dama."+cn, &ctl.Stats)
 			r.RegisterDuration("dama."+cn+".control_airtime", &ch.Stats.ControlAirtime)
+		}
+	}
+	if w.group != nil {
+		g := w.group
+		r.RegisterFunc("sim.windows", func() float64 { return float64(g.Windows()) })
+		r.RegisterFunc("sim.crossings", func() float64 { return float64(g.Crossings()) })
+		for _, sh := range g.Shards() {
+			sh := sh
+			sn := "sim.shard_" + metricName(sh.Name)
+			r.RegisterFunc(sn+".events", func() float64 { return float64(sh.Sched.Fired()) })
+			r.RegisterFunc(sn+".delivered", func() float64 { return float64(sh.Delivered()) })
 		}
 	}
 	for hname, h := range w.hosts {
@@ -103,21 +115,44 @@ func (w *World) Netstat(out io.Writer, prefix string) {
 }
 
 // EnableFlightRecorder starts a bounded ring of scheduler events and
-// MAC protocol transitions (capacity <= 0 takes the default). It
-// installs the scheduler's EventHook and every existing DAMA
-// controller's Trace, so enable it after the topology is built. The
-// hook adds no events and no allocations, but gated runs (the CI
-// event counter) should leave it off all the same.
-func (w *World) EnableFlightRecorder(capacity int) *obs.FlightRecorder {
-	fr := obs.NewFlightRecorder(capacity)
-	w.Sched.EventHook = fr.SchedHook()
-	for ch, ctl := range w.dama {
-		cn := metricName(w.ChannelName(ch))
-		ctl.Trace = func(event, who string) {
-			fr.Record(w.Sched.Now(), "dama", cn+" "+event, who)
+// MAC protocol transitions (capacity <= 0 takes the per-lane default).
+// It installs the scheduler's EventHook and every existing DAMA
+// controller's Trace, so enable it after the topology is built. On the
+// single-loop engine the recorder has one lane ("world"); on the
+// sharded engine one lane per shard, each written only by its shard's
+// goroutine — WriteTrace merges them ordered by virtual time, so a
+// parallel run's trace reads like a sequential one's. The hooks add no
+// events and no allocations, but gated runs (the CI event counter)
+// should leave them off all the same.
+func (w *World) EnableFlightRecorder(capacity int) *obs.MultiRecorder {
+	m := obs.NewMultiRecorder()
+	laneOf := func(s *sim.Scheduler) *obs.FlightRecorder {
+		if w.group == nil {
+			return m.Lane("world", capacity)
+		}
+		sh := w.group.ShardOf(s)
+		if sh == nil {
+			return m.Lane("world", capacity)
+		}
+		return m.Lane(sh.Name, capacity)
+	}
+	if w.group == nil {
+		m.Lane("world", capacity)
+		w.Sched.EventHook = m.Lane("world", capacity).SchedHook()
+	} else {
+		for _, sh := range w.group.Shards() {
+			sh.Sched.EventHook = m.Lane(sh.Name, capacity).SchedHook()
 		}
 	}
-	return fr
+	for ch, ctl := range w.dama {
+		cn := metricName(w.ChannelName(ch))
+		sched := ch.Scheduler()
+		fr := laneOf(sched) // the channel's shard lane on the sharded engine
+		ctl.Trace = func(event, who string) {
+			fr.Record(sched.Now(), "dama", cn+" "+event, who)
+		}
+	}
+	return m
 }
 
 // ChannelName reverse-maps a channel to the name it was created under

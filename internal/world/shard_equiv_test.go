@@ -1,0 +1,149 @@
+package world
+
+import (
+	"sort"
+	"testing"
+	"time"
+)
+
+// largeRun builds a multi-channel NewLarge on the given engine and runs
+// the standard probe schedule: 1-minute pings, 3 simulated minutes.
+func largeRun(t *testing.T, workers, stations, channels int) *Large {
+	t.Helper()
+	lw := NewLarge(LargeConfig{
+		Seed:         7,
+		Stations:     stations,
+		Channels:     channels,
+		PingInterval: time.Minute,
+		Workers:      workers,
+	})
+	if workers > 1 {
+		// The constructor caps executors at GOMAXPROCS; tests force the
+		// count so CI's -race job exercises real concurrency even on a
+		// single-core runner.
+		lw.W.Shards().SetWorkers(workers)
+	}
+	lw.W.Run(3 * time.Minute)
+	return lw
+}
+
+// TestShardedMatchesSequential is the engine-equivalence regression:
+// the same seed on the single-loop and sharded engines must produce the
+// same traffic — equal probes sent, equal replies, and the identical
+// multiset of RTTs. The construction-order derive trick (NewLarge doc)
+// is what makes this exact rather than statistical.
+func TestShardedMatchesSequential(t *testing.T) {
+	seq := largeRun(t, 0, 60, 6)
+	shd := largeRun(t, 1, 60, 6)
+
+	if seq.Sent != shd.Sent || seq.Replies != shd.Replies {
+		t.Fatalf("engines disagree: sequential sent=%d replies=%d, sharded sent=%d replies=%d",
+			seq.Sent, seq.Replies, shd.Sent, shd.Replies)
+	}
+	if seq.Replies == 0 {
+		t.Fatal("no replies delivered — the scenario is not exercising the network")
+	}
+	a := append([]time.Duration(nil), seq.RTTs...)
+	b := append([]time.Duration(nil), shd.RTTs...)
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	if len(a) != len(b) {
+		t.Fatalf("RTT count differs: sequential %d, sharded %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("RTT[%d] differs: sequential %v, sharded %v", i, a[i], b[i])
+		}
+	}
+	// Channel-access accounting must agree too: both engines lose the
+	// same probes to the same CSMA fates, station by station.
+	for i := range seq.Stations {
+		sa := seq.Stations[i].Radio("pr0").RF.Stats
+		sb := shd.Stations[i].Radio("pr0").RF.Stats
+		if sa != sb {
+			t.Fatalf("station %d TxStats differ:\nsequential %+v\nsharded    %+v", i, sa, sb)
+		}
+	}
+}
+
+// TestShardedWorkerInvariance pins the conservative protocol's core
+// promise: results are bit-identical regardless of how many goroutines
+// execute the windows — same counts AND the same merge order, so the
+// unsorted RTT sequence matches element for element. Run under -race in
+// CI this is also the data-race gate for the parallel executor.
+func TestShardedWorkerInvariance(t *testing.T) {
+	one := largeRun(t, 1, 100, 8)
+	four := largeRun(t, 4, 100, 8)
+
+	if one.Sent != four.Sent || one.Replies != four.Replies {
+		t.Fatalf("worker count changed traffic: w1 sent=%d replies=%d, w4 sent=%d replies=%d",
+			one.Sent, one.Replies, four.Sent, four.Replies)
+	}
+	if one.Replies == 0 {
+		t.Fatal("no replies delivered")
+	}
+	if len(one.RTTs) != len(four.RTTs) {
+		t.Fatalf("RTT count differs: w1 %d, w4 %d", len(one.RTTs), len(four.RTTs))
+	}
+	for i := range one.RTTs {
+		if one.RTTs[i] != four.RTTs[i] {
+			t.Fatalf("RTT order differs at %d: w1 %v, w4 %v", i, one.RTTs[i], four.RTTs[i])
+		}
+	}
+	if one.W.EventsFired() != four.W.EventsFired() {
+		t.Fatalf("event totals differ: w1 %d, w4 %d", one.W.EventsFired(), four.W.EventsFired())
+	}
+	// Per-shard counters are part of the determinism contract too.
+	sa, sb := one.W.ShardStats(), four.W.ShardStats()
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("shard %q stats differ across worker counts: %+v vs %+v", sa[i].Name, sa[i], sb[i])
+		}
+	}
+}
+
+// TestShardedRerunDeterminism pins that a sharded run is a pure
+// function of the seed: build twice, compare exactly.
+func TestShardedRerunDeterminism(t *testing.T) {
+	a := largeRun(t, 2, 50, 5)
+	b := largeRun(t, 2, 50, 5)
+	if a.Sent != b.Sent || a.Replies != b.Replies || len(a.RTTs) != len(b.RTTs) {
+		t.Fatalf("reruns differ: %d/%d/%d vs %d/%d/%d",
+			a.Sent, a.Replies, len(a.RTTs), b.Sent, b.Replies, len(b.RTTs))
+	}
+	for i := range a.RTTs {
+		if a.RTTs[i] != b.RTTs[i] {
+			t.Fatalf("rerun RTT[%d] differs: %v vs %v", i, a.RTTs[i], b.RTTs[i])
+		}
+	}
+	if a.W.Shards().Crossings() != b.W.Shards().Crossings() {
+		t.Fatalf("crossings differ: %d vs %d", a.W.Shards().Crossings(), b.W.Shards().Crossings())
+	}
+}
+
+// TestShardedIdleChannelNoStall is the starvation case: with more
+// channels than stations some shards hold no events at all, and an idle
+// shard must contribute no horizon bound — the busy channels advance,
+// traffic flows, and the run terminates.
+func TestShardedIdleChannelNoStall(t *testing.T) {
+	lw := NewLarge(LargeConfig{
+		Seed:         3,
+		Stations:     4,
+		Channels:     8, // channels 5..8 have no stations: idle shards
+		PingInterval: time.Minute,
+		Workers:      2,
+	})
+	done := make(chan struct{})
+	go func() {
+		lw.W.Run(3 * time.Minute)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("sharded run stalled — an idle shard is holding the horizon back")
+	}
+	if lw.Replies == 0 {
+		t.Fatalf("no replies with idle channels present (sent=%d)", lw.Sent)
+	}
+}

@@ -35,6 +35,10 @@ import (
 
 // World is the top-level simulation container.
 type World struct {
+	// Sched is the world's scheduler. On the sharded engine (see
+	// shard.go) it is the backbone shard's scheduler — its clock still
+	// tracks world time, but event counts cover only that shard; use
+	// EventsFired for whole-world totals.
 	Sched *sim.Scheduler
 
 	// DAMAConfig tunes the controllers DAMA(ch) creates; set it before
@@ -46,6 +50,11 @@ type World struct {
 	ethers   map[string]*ether.Segment
 	channels map[string]*radio.Channel
 	dama     map[*radio.Channel]*dama.Controller
+
+	// group is the sharded parallel engine, nil on the single-loop
+	// engine (see shard.go).
+	group    *sim.Group
+	onRunEnd []func()
 
 	reg *obs.Registry // lazily built by Registry(); see obs.go
 }
@@ -99,12 +108,18 @@ type Host struct {
 	Stack *ipstack.Stack
 
 	world  *World
+	sched  *sim.Scheduler // the host's event context (its shard)
 	nics   map[string]*ether.NIC
 	radios map[string]*RadioPort
 	gw     *core.Gateway
 	rtr    *rspf.Router
 	sock   *socket.Layer
 }
+
+// Sched returns the scheduler the host's components run on — the
+// world scheduler on the single-loop engine, the host's shard on the
+// sharded one. Traffic generators must schedule a host's probes here.
+func (h *Host) Sched() *sim.Scheduler { return h.sched }
 
 // Sockets returns the host's socket layer — the one application-facing
 // API over its TCP, UDP, raw-IP and RDM transports — creating it on
@@ -152,6 +167,7 @@ func (w *World) Host(name string) *Host {
 		Name:   name,
 		Stack:  ipstack.New(w.Sched, name),
 		world:  w,
+		sched:  w.Sched,
 		nics:   make(map[string]*ether.NIC),
 		radios: make(map[string]*RadioPort),
 	}
@@ -165,7 +181,7 @@ func (w *World) Hosts() map[string]*Host { return w.hosts }
 // AttachEther puts a NIC named ifName on segment seg with the given
 // address; zero mask derives the classful default.
 func (h *Host) AttachEther(seg *ether.Segment, ifName string, addr ip.Addr, mask ip.Mask) *ether.NIC {
-	n := seg.Attach(ifName, addr, h.Stack)
+	n := seg.AttachOn(h.sched, ifName, addr, h.Stack)
 	if err := n.Init(); err != nil {
 		panic(err)
 	}
@@ -238,7 +254,7 @@ type RadioConfig struct {
 // pseudo-driver registered with the host's stack.
 func (h *Host) AttachRadio(ch *radio.Channel, ifName string, call string, addr ip.Addr, mask ip.Mask, cfg RadioConfig) *RadioPort {
 	mycall := ax25.MustAddr(call)
-	hostEnd, tncEnd := serial.NewLine(h.world.Sched, cfg.Baud)
+	hostEnd, tncEnd := serial.NewLine(h.sched, cfg.Baud)
 	if cfg.PerByteSerial {
 		hostEnd.Line().PerByte = true
 	}
@@ -253,7 +269,7 @@ func (h *Host) AttachRadio(ch *radio.Channel, ifName string, call string, addr i
 		Persist:     cfg.Persist,
 		PerSlotCSMA: perSlot,
 	})
-	t := tnc.New(h.world.Sched, tncEnd, rf, mycall)
+	t := tnc.New(h.sched, tncEnd, rf, mycall)
 	t.Filter = cfg.Filter
 	// MAC selection rides below the TNC: the KISS firmware still owns
 	// TXDELAY/persistence, but admission — when a queued frame may key
@@ -262,7 +278,7 @@ func (h *Host) AttachRadio(ch *radio.Channel, ifName string, call string, addr i
 	if cfg.MAC == MACDAMA {
 		h.world.DAMA(ch).Join(rf)
 	}
-	drv := core.NewPacketRadioIf(h.world.Sched, ifName, hostEnd, mycall, addr, h.Stack)
+	drv := core.NewPacketRadioIf(h.sched, ifName, hostEnd, mycall, addr, h.Stack)
 	drv.SetMTU(cfg.MTU)
 	if err := drv.Init(); err != nil {
 		panic(err)
@@ -294,7 +310,7 @@ func (h *Host) MakeGateway(radioIf, etherIf string, withACL bool) *core.Gateway 
 		EtherName: etherIf,
 	}
 	if withACL {
-		g.WireACL(acl.New(h.world.Sched))
+		g.WireACL(acl.New(h.sched))
 	}
 	h.gw = g
 	return g
@@ -405,8 +421,19 @@ func (w *World) Digipeater(ch *radio.Channel, call string) *tnc.Digipeater {
 	return tnc.NewDigipeater(ax25.MustAddr(call), rf)
 }
 
-// Run advances the world d of simulated time.
-func (w *World) Run(d time.Duration) { w.Sched.RunFor(d) }
+// Run advances the world d of simulated time — the whole shard group
+// on the sharded engine — then fires any registered run-end hooks
+// (sharded worlds merge per-shard accumulators there).
+func (w *World) Run(d time.Duration) {
+	if w.group != nil {
+		w.group.RunFor(d)
+	} else {
+		w.Sched.RunFor(d)
+	}
+	for _, fn := range w.onRunEnd {
+		fn()
+	}
+}
 
 // --- The canned Seattle scenario (paper §2.3) ---------------------------
 
