@@ -8,6 +8,12 @@
 //	experiments            # all of F1 F2 E1..E10
 //	experiments -only E2   # a single experiment
 //	experiments -list      # show the index
+//
+// It is also the CI entrypoint for the declarative scenario suite
+// (SCENARIOS.md):
+//
+//	experiments -scenario examples/scenarios            # gate the whole suite
+//	experiments -scenario examples/scenarios/diurnal.toml -workers 4
 package main
 
 import (
@@ -15,9 +21,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	"packetradio/internal/experiments"
+	"packetradio/internal/scenario"
 )
 
 var index = []struct {
@@ -50,8 +59,15 @@ var index = []struct {
 func main() {
 	only := flag.String("only", "", "run a single experiment (e.g. E3)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	scenarioFlag := flag.String("scenario", "", "evaluate a scenario file, or every .json/.toml scenario in a directory, against its gates; exit 1 if any gate fails")
+	seeds := flag.Int("seeds", 0, "scenario mode: seeds per scenario (0 = each scenario's gates.seeds)")
+	workers := flag.Int("workers", 0, "scenario mode: engine workers per run (0 = single-loop reference)")
 	flag.Parse()
 
+	if *scenarioFlag != "" {
+		runScenarios(*scenarioFlag, *seeds, *workers)
+		return
+	}
 	if *list {
 		for _, e := range index {
 			fmt.Printf("%-4s %s\n", e.id, e.claim)
@@ -68,6 +84,68 @@ func main() {
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (use -list)\n", *only)
+		os.Exit(1)
+	}
+}
+
+// runScenarios is the scenario-suite mode: evaluate one file, or every
+// scenario in a directory (sorted by name, so the report order is
+// stable), and exit 1 if any gate fails.
+func runScenarios(path string, seeds, workers int) {
+	info, err := os.Stat(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	files := []string{path}
+	if info.IsDir() {
+		files = nil
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		for _, e := range entries {
+			if ext := filepath.Ext(e.Name()); !e.IsDir() && (ext == ".json" || ext == ".toml") {
+				files = append(files, filepath.Join(path, e.Name()))
+			}
+		}
+		sort.Strings(files)
+		if len(files) == 0 {
+			fmt.Fprintf(os.Stderr, "experiments: no .json or .toml scenarios in %s\n", path)
+			os.Exit(2)
+		}
+	}
+	failed := 0
+	for i, f := range files {
+		if i > 0 {
+			fmt.Println()
+		}
+		sc, err := scenario.Load(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		// The seattle base is single-loop only (one channel — nothing
+		// to shard), so a suite-wide -workers setting falls back to the
+		// reference engine for it rather than failing the whole run.
+		w := workers
+		if sc.Topology.Base == "seattle" && w > 0 {
+			fmt.Printf("# %s: seattle base, falling back to -workers 0\n", sc.Name)
+			w = 0
+		}
+		rep, err := scenario.Evaluate(sc, seeds, w)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		rep.WriteText(os.Stdout)
+		if !rep.Pass() {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d of %d scenarios failed their gates\n", failed, len(files))
 		os.Exit(1)
 	}
 }

@@ -35,6 +35,7 @@ import (
 	"packetradio/internal/ip"
 	"packetradio/internal/obs"
 	"packetradio/internal/radio"
+	"packetradio/internal/scenario"
 	"packetradio/internal/tcp"
 	"packetradio/internal/telnet"
 	"packetradio/internal/world"
@@ -127,6 +128,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	quiet := flag.Bool("q", false, "suppress the frame monitor")
 	macFlag := flag.String("mac", "csma", "channel access: csma (p-persistent) or dama (polled)")
+	scenarioFlag := flag.String("scenario", "", "scenario mode: run this declarative scenario file (.json or .toml, see SCENARIOS.md) across -seeds seeds on the -workers engine and check its gates")
 	stations := flag.Int("stations", 0, "scale mode: N stations on one channel with a ping-fate ledger (0 = Seattle scenario)")
 	transportFlag := flag.String("transport", "icmp", "scale mode probe transport: icmp, tcp or rdm")
 	channels := flag.Int("channels", 1, "scale mode: radio channels, stations spread round-robin, one gateway each")
@@ -186,6 +188,10 @@ func main() {
 		}()
 	}
 
+	if *scenarioFlag != "" {
+		runScenario(*scenarioFlag, *seeds, *workersFlag, &of)
+		return
+	}
 	if *seeds > 0 {
 		runSweep(*seeds, *stations, *channels, *workersFlag, *dur)
 		return
@@ -286,8 +292,12 @@ func runScale(n, channels, workers int, mac world.MACMode, transport world.Trans
 		Workers: workers,
 	})
 	var ledger *obs.PingLedger
-	if transport == world.TransportICMP && workers == 0 {
-		ledger = lw.W.AttachPingLedger()
+	if transport == world.TransportICMP {
+		if workers == 0 {
+			ledger = lw.W.AttachPingLedger()
+		} else {
+			fmt.Fprintln(os.Stderr, "prsim: warning: -workers > 0 disables the ping fate ledger (its seam taps are not shard-safe); rerun with -workers 0 for per-ping fates")
+		}
 	}
 	finish, err := of.attach(lw.W, "gw1")
 	if err != nil {
@@ -337,6 +347,55 @@ func runScale(n, channels, workers int, mac world.MACMode, transport world.Trans
 		}
 	}
 	finish()
+}
+
+// runScenario is the declarative mode: load a scenario file, sweep it
+// across seeds on the selected engine (-workers picks the engine for
+// every run, not the sweep concurrency — independent seeds always run
+// up to GOMAXPROCS at a time), print the per-seed results and the gate
+// verdicts, and exit 1 if a gate fails. The report is deterministic at
+// any -workers count, so CI diffs the two engines' output byte for
+// byte. With observability flags set the mode switches to a single
+// instrumented run of seed 1 instead (a sweep has no one world to tap)
+// and checks no gates.
+func runScenario(path string, seeds, workers int, of *obsFlags) {
+	sc, err := scenario.Load(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if of.netstat || of.pcap != "" || of.trace != "" || of.metrics != "" {
+		r, err := scenario.Compile(sc, 1, workers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		gwHost := "gw1"
+		if sc.Topology.Base == "seattle" {
+			gwHost = "uw-gw"
+		}
+		finish, err := of.attach(r.W, gwHost)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Println(sc.Summary())
+		fmt.Println("# single instrumented run (seed 1); gates not checked")
+		st := r.Run()
+		fmt.Printf("# probes: sent=%d replies=%d delivery=%.3f rtt_p50=%s rtt_p95=%s control_share=%.3f\n",
+			st.Sent, st.Replies, st.Delivery, st.RTTPercentile(50), st.RTTPercentile(95), st.ControlShare)
+		finish()
+		return
+	}
+	rep, err := scenario.Evaluate(sc, seeds, workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	rep.WriteText(os.Stdout)
+	if !rep.Pass() {
+		os.Exit(1)
+	}
 }
 
 // runSweep is the Monte-Carlo mode: the same scale world stepped under

@@ -100,13 +100,14 @@ func parallelRunFresh(n, channels, workers int) ParallelPoint {
 	return pt
 }
 
+// E18Cells exposes the E18 sweep to the bench writer and the event
+// gate, so all three agree on the cell list.
+func E18Cells() [][3]int { return e18Cells }
+
 // e18Cells is the sweep E18, the bench writer and the event gate all
 // share: the N=200 world across widening channel counts (the
 // near-linear-in-channels claim), plus the N=500 and N=1000 worlds at
 // their default channel widths (the ≥1 sim-s/wall-s gate at N=1000).
-// E18Cells exposes the sweep to the bench writer and the event gate.
-func E18Cells() [][3]int { return e18Cells }
-
 var e18Cells = [][3]int{
 	{200, 8, 4},
 	{200, 25, 4},

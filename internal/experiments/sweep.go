@@ -28,6 +28,13 @@ type SweepPoint struct {
 	RTTP95    time.Duration
 }
 
+// RunSample is one seed's contribution to a sweep: its delivery ratio
+// and every reply's round-trip time.
+type RunSample struct {
+	Delivery float64
+	RTTs     []time.Duration
+}
+
 // Sweep steps the standard scale world (stations over channels, one
 // ping per station per minute, 30 s warm-up plus dur timed) once per
 // seed 1..seeds, running up to workers seeds concurrently. Seeds are
@@ -36,14 +43,39 @@ type SweepPoint struct {
 // engine's determinism machinery is not involved. Median/p95 delivery
 // are taken across seeds; median/p95 RTT over the pooled replies.
 func Sweep(seeds, stations, channels, workers int, dur time.Duration) SweepPoint {
+	pt := SweepRuns(seeds, workers, func(seed int64) RunSample {
+		lw := world.NewLarge(world.LargeConfig{
+			Seed:         seed,
+			Stations:     stations,
+			Channels:     channels,
+			PingInterval: time.Minute,
+		})
+		lw.W.Run(30 * time.Second)
+		lw.W.Run(dur)
+		return RunSample{Delivery: lw.DeliveryRatio(), RTTs: append([]time.Duration(nil), lw.RTTs...)}
+	})
+	pt.Stations = stations
+	pt.Channels = channels
+	return pt
+}
+
+// SweepRuns is the seed-sweep core behind Sweep: it calls run once per
+// seed 1..seeds (up to workers concurrently — each run must be
+// self-contained) and aggregates the samples into a SweepPoint. The
+// scenario layer (internal/scenario) sweeps declarative worlds through
+// this same aggregation, so scenario gate percentiles and prsim -seeds
+// percentiles are computed identically. Deterministic for a given run
+// func regardless of worker count: per-seed samples land in seed
+// order, delivery percentiles sort across seeds, and RTT percentiles
+// sort the pooled replies.
+func SweepRuns(seeds, workers int, run func(seed int64) RunSample) SweepPoint {
 	if seeds < 1 {
 		seeds = 1
 	}
 	if workers < 1 {
 		workers = 1
 	}
-	deliveries := make([]float64, seeds)
-	rtts := make([][]time.Duration, seeds)
+	samples := make([]RunSample, seeds)
 
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, workers)
@@ -53,23 +85,16 @@ func Sweep(seeds, stations, channels, workers int, dur time.Duration) SweepPoint
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			lw := world.NewLarge(world.LargeConfig{
-				Seed:         int64(i + 1),
-				Stations:     stations,
-				Channels:     channels,
-				PingInterval: time.Minute,
-			})
-			lw.W.Run(30 * time.Second)
-			lw.W.Run(dur)
-			deliveries[i] = lw.DeliveryRatio()
-			rtts[i] = append([]time.Duration(nil), lw.RTTs...)
+			samples[i] = run(int64(i + 1))
 		}(i)
 	}
 	wg.Wait()
 
-	pt := SweepPoint{Seeds: seeds, Stations: stations, Channels: channels,
-		Delivery: deliveries}
-	sorted := append([]float64(nil), deliveries...)
+	pt := SweepPoint{Seeds: seeds, Delivery: make([]float64, seeds)}
+	for i, s := range samples {
+		pt.Delivery[i] = s.Delivery
+	}
+	sorted := append([]float64(nil), pt.Delivery...)
 	sort.Float64s(sorted)
 	pt.DeliveryMin = sorted[0]
 	pt.DeliveryMedian = sorted[len(sorted)/2]
@@ -79,8 +104,8 @@ func Sweep(seeds, stations, channels, workers int, dur time.Duration) SweepPoint
 	pt.DeliveryP95 = sorted[len(sorted)/20]
 
 	var pool []time.Duration
-	for _, r := range rtts {
-		pool = append(pool, r...)
+	for _, s := range samples {
+		pool = append(pool, s.RTTs...)
 	}
 	if len(pool) > 0 {
 		sort.Slice(pool, func(i, j int) bool { return pool[i] < pool[j] })

@@ -127,6 +127,7 @@ type entry struct {
 type Registry struct {
 	entries []entry
 	names   map[string]int
+	labels  map[string]string
 
 	// Sampling state: column layout frozen at StartSampling.
 	cols []string
@@ -255,6 +256,20 @@ func snakeCase(s string) string {
 	return b.String()
 }
 
+// SetLabel attaches a key=value label to the registry as a whole —
+// run-level identity like the scenario name and seed, not a metric.
+// Labels ride along in WriteJSON (under "_labels") so downstream
+// tooling can tell runs apart without parsing file names.
+func (r *Registry) SetLabel(key, value string) {
+	if r.labels == nil {
+		r.labels = make(map[string]string)
+	}
+	r.labels[key] = value
+}
+
+// Labels returns the registry's labels (nil if none were set).
+func (r *Registry) Labels() map[string]string { return r.labels }
+
 // Sample is one named value in a snapshot.
 type Sample struct {
 	Name  string
@@ -297,6 +312,9 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 			continue
 		}
 		obj[e.name] = e.read()
+	}
+	if len(r.labels) > 0 {
+		obj["_labels"] = r.labels
 	}
 	buf, err := json.MarshalIndent(obj, "", "  ")
 	if err != nil {

@@ -8,6 +8,7 @@
 // it; csmaAccessor below is a stateless dispatcher into it, so the
 // event sequence (and therefore every deterministic counter the CI
 // gate pins) is bit-identical to the pre-seam code.
+
 package radio
 
 import "packetradio/internal/sim"

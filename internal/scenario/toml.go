@@ -1,0 +1,248 @@
+// A minimal TOML subset decoder, just big enough for hand-written
+// scenario files: [tables], [[arrays of tables]], and `key = value`
+// lines with basic strings, integers, floats, booleans and one-line
+// arrays of scalars. The module is dependency-free by policy, so this
+// stays a subset by design — no multi-line strings, no inline tables,
+// no dates. Everything it accepts converts losslessly to the JSON
+// schema in scenario.go; ParseTOML funnels the result through the
+// same strict decoder as Parse.
+
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// decodeTOML parses the subset into nested maps/slices ready for
+// json.Marshal.
+func decodeTOML(raw []byte) (map[string]any, error) {
+	root := map[string]any{}
+	cur := root
+	for ln, line := range strings.Split(string(raw), "\n") {
+		s := strings.TrimSpace(stripTOMLComment(line))
+		if s == "" {
+			continue
+		}
+		lineErr := func(err error) error { return fmt.Errorf("line %d: %w", ln+1, err) }
+		switch {
+		case strings.HasPrefix(s, "[[") && strings.HasSuffix(s, "]]"):
+			path, err := tomlPath(s[2 : len(s)-2])
+			if err != nil {
+				return nil, lineErr(err)
+			}
+			parent, err := tomlWalk(root, path[:len(path)-1])
+			if err != nil {
+				return nil, lineErr(err)
+			}
+			key := path[len(path)-1]
+			arr, ok := parent[key].([]any)
+			if !ok && parent[key] != nil {
+				return nil, lineErr(fmt.Errorf("%q is not an array of tables", key))
+			}
+			m := map[string]any{}
+			parent[key] = append(arr, any(m))
+			cur = m
+		case strings.HasPrefix(s, "[") && strings.HasSuffix(s, "]"):
+			path, err := tomlPath(s[1 : len(s)-1])
+			if err != nil {
+				return nil, lineErr(err)
+			}
+			t, err := tomlWalk(root, path)
+			if err != nil {
+				return nil, lineErr(err)
+			}
+			cur = t
+		default:
+			key, val, ok := strings.Cut(s, "=")
+			if !ok {
+				return nil, lineErr(fmt.Errorf("expected `key = value`, a [table] or an [[array of tables]], got %q", s))
+			}
+			k := strings.TrimSpace(key)
+			if err := tomlBareKey(k); err != nil {
+				return nil, lineErr(err)
+			}
+			if _, exists := cur[k]; exists {
+				return nil, lineErr(fmt.Errorf("duplicate key %q", k))
+			}
+			v, err := tomlValue(strings.TrimSpace(val))
+			if err != nil {
+				return nil, lineErr(err)
+			}
+			cur[k] = v
+		}
+	}
+	return root, nil
+}
+
+// stripTOMLComment removes a trailing # comment, respecting strings.
+func stripTOMLComment(line string) string {
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '\\':
+			if inStr {
+				i++ // skip the escaped char
+			}
+		case '"':
+			inStr = !inStr
+		case '#':
+			if !inStr {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+// tomlPath splits a dotted table header into validated bare keys.
+func tomlPath(s string) ([]string, error) {
+	parts := strings.Split(s, ".")
+	for i, p := range parts {
+		parts[i] = strings.TrimSpace(p)
+		if err := tomlBareKey(parts[i]); err != nil {
+			return nil, err
+		}
+	}
+	return parts, nil
+}
+
+// tomlBareKey accepts the bare-key alphabet (letters, digits, _ , -).
+func tomlBareKey(s string) error {
+	if s == "" {
+		return fmt.Errorf("empty key")
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-':
+		default:
+			return fmt.Errorf("key %q: only bare keys (letters, digits, _ and -) are supported", s)
+		}
+	}
+	return nil
+}
+
+// tomlWalk descends (creating as needed) to the table at path. An
+// intermediate segment that is an array of tables means its last
+// element, TOML's rule for subtables of [[entries]].
+func tomlWalk(root map[string]any, path []string) (map[string]any, error) {
+	cur := root
+	for _, key := range path {
+		switch v := cur[key].(type) {
+		case nil:
+			m := map[string]any{}
+			cur[key] = m
+			cur = m
+		case map[string]any:
+			cur = v
+		case []any:
+			last, ok := v[len(v)-1].(map[string]any)
+			if !ok {
+				return nil, fmt.Errorf("%q is not a table", key)
+			}
+			cur = last
+		default:
+			return nil, fmt.Errorf("%q is not a table", key)
+		}
+	}
+	return cur, nil
+}
+
+// tomlValue parses one scalar or one-line array.
+func tomlValue(s string) (any, error) {
+	switch {
+	case s == "":
+		return nil, fmt.Errorf("missing value")
+	case s == "true":
+		return true, nil
+	case s == "false":
+		return false, nil
+	case s[0] == '"':
+		v, rest, err := tomlString(s)
+		if err != nil {
+			return nil, err
+		}
+		if strings.TrimSpace(rest) != "" {
+			return nil, fmt.Errorf("trailing data after string: %q", rest)
+		}
+		return v, nil
+	case s[0] == '[':
+		return tomlArray(s)
+	default:
+		if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+			return i, nil
+		}
+		if f, err := strconv.ParseFloat(s, 64); err == nil {
+			return f, nil
+		}
+		return nil, fmt.Errorf("unsupported value %q (the subset takes strings, numbers, booleans and one-line arrays)", s)
+	}
+}
+
+// tomlString parses a leading basic string, returning it and the
+// unconsumed remainder.
+func tomlString(s string) (string, string, error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			return b.String(), s[i+1:], nil
+		case '\\':
+			i++
+			if i >= len(s) {
+				return "", "", fmt.Errorf("unterminated escape in %q", s)
+			}
+			switch s[i] {
+			case '"', '\\':
+				b.WriteByte(s[i])
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			default:
+				return "", "", fmt.Errorf("unsupported escape \\%c", s[i])
+			}
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated string %q", s)
+}
+
+// tomlArray parses a one-line array of scalars.
+func tomlArray(s string) (any, error) {
+	if !strings.HasSuffix(s, "]") {
+		return nil, fmt.Errorf("unterminated array %q (arrays must close on the same line)", s)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	out := []any{}
+	for inner != "" {
+		var item string
+		if inner[0] == '"' {
+			v, rest, err := tomlString(inner)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+			inner = strings.TrimSpace(rest)
+			if inner != "" {
+				if inner[0] != ',' {
+					return nil, fmt.Errorf("expected ',' in array, got %q", inner)
+				}
+				inner = strings.TrimSpace(inner[1:])
+			}
+			continue
+		}
+		item, inner, _ = strings.Cut(inner, ",")
+		inner = strings.TrimSpace(inner)
+		v, err := tomlValue(strings.TrimSpace(item))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

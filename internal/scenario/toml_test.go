@@ -1,0 +1,76 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTOMLDecode(t *testing.T) {
+	tree, err := decodeTOML([]byte(`
+# comment line
+name = "x # not a comment"   # trailing comment
+flag = true
+count = 3
+ratio = 1.5
+list = [1, "two", 3.0]
+
+[table]
+key = "v"
+
+[table.sub]
+deep = 1
+
+[[arr]]
+a = 1
+
+[[arr]]
+a = 2
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree["name"] != "x # not a comment" || tree["flag"] != true || tree["count"] != int64(3) || tree["ratio"] != 1.5 {
+		t.Fatalf("scalars: %+v", tree)
+	}
+	list := tree["list"].([]any)
+	if len(list) != 3 || list[0] != int64(1) || list[1] != "two" || list[2] != 3.0 {
+		t.Fatalf("list: %+v", list)
+	}
+	table := tree["table"].(map[string]any)
+	if table["key"] != "v" || table["sub"].(map[string]any)["deep"] != int64(1) {
+		t.Fatalf("tables: %+v", table)
+	}
+	arr := tree["arr"].([]any)
+	if len(arr) != 2 || arr[1].(map[string]any)["a"] != int64(2) {
+		t.Fatalf("array of tables: %+v", arr)
+	}
+}
+
+func TestTOMLErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"bare junk", "not a key value", "expected `key = value`"},
+		{"duplicate key", "a = 1\na = 2", "duplicate key"},
+		{"unterminated string", `a = "oops`, "unterminated string"},
+		{"bad escape", `a = "\q"`, `unsupported escape`},
+		{"multiline array", "a = [1,\n2]", "unterminated array"},
+		{"dotted value key", "a.b = 1", "only bare keys"},
+		{"missing value", "a =", "missing value"},
+		{"weird scalar", "a = 1988-05-01", "unsupported value"},
+		{"redefined as array", "[x]\nk = 1\n[[x]]\na = 1", "not an array of tables"},
+	}
+	for _, tc := range cases {
+		_, err := decodeTOML([]byte(tc.src))
+		if err == nil {
+			t.Errorf("%s: accepted, want error containing %q", tc.name, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+		if !strings.Contains(err.Error(), "line ") {
+			t.Errorf("%s: error %q carries no line number", tc.name, err)
+		}
+	}
+}

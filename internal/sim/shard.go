@@ -25,6 +25,7 @@
 // least that event. An idle shard contributes no bound at all (its
 // earliest-output time is infinite), so a silent channel never stalls
 // the world — the starvation case the shard tests pin.
+
 package sim
 
 import (

@@ -20,7 +20,7 @@ import (
 // simulation epoch (time zero, when the Scheduler was created).
 type Time time.Duration
 
-// Common virtual-time helpers.
+// Add returns t advanced by d.
 func (t Time) Add(d time.Duration) Time { return t + Time(d) }
 
 // Sub returns the duration between t and u (t - u).

@@ -7,6 +7,7 @@
 // every radio station can reach through its gateway. E14 uses it to
 // measure simulated-seconds-per-wall-second as N scales; every future
 // scale scenario starts here.
+
 package world
 
 import (
@@ -152,18 +153,24 @@ type Large struct {
 	// PingInterval traffic is running; Sent counts requests. RTTs
 	// collects every reply's round-trip time, so experiments can report
 	// latency distributions (E16's median) without re-instrumenting the
-	// traffic loop. The probers accumulate into per-shard slots and
-	// these fields are rebuilt after every W.Run: on the single-loop
-	// engine there is one slot and RTTs keep exact arrival order; on
-	// the sharded engine the slots merge in deterministic
-	// (virtual-time, shard) order.
+	// traffic loop. The probers accumulate into per-channel slots and
+	// these fields are rebuilt after every W.Run, merged in
+	// deterministic (virtual-time, channel) order. Both engines use the
+	// same slot layout and the same merge, so for a given seed the
+	// series is bit-identical — order included — at every worker count.
 	Sent, Replies uint64
 	RTTs          []time.Duration
 
-	// slots holds per-shard probe accumulators: index 0 on the
-	// single-loop engine, index 1+c for channel c's shard on the
-	// sharded one (the backbone shard originates no probes).
+	// slots holds per-channel probe accumulators: index 1+c for channel
+	// c (index 0, the Ethernet backbone, originates no probes). On the
+	// sharded engine each slot is touched only by its own shard's
+	// events.
 	slots []probeSlot
+
+	// probers holds one probe func per station, built by ArmProbers:
+	// calling probers[i] fires one probe from station i on the
+	// configured transport. See Probe.
+	probers []func()
 }
 
 // probeSlot is one shard's probe accounting. Only events running in
@@ -180,17 +187,16 @@ type rttSample struct {
 
 // slot returns station i's accumulator.
 func (lw *Large) slot(i int) *probeSlot {
-	if len(lw.slots) == 1 {
-		return &lw.slots[0]
-	}
 	return &lw.slots[1+i%lw.Cfg.Channels]
 }
 
 // mergeProbes rebuilds the public Sent/Replies/RTTs fields from the
-// slots. With one slot this is a copy (arrival order preserved); with
-// many it is a deterministic merge — samples ordered by (virtual
-// time, shard), ties within a shard keeping arrival order — so the
-// result is independent of worker count and identical across reruns.
+// slots: a deterministic merge — samples ordered by (virtual time,
+// channel), ties within a channel keeping arrival order. Both engines
+// run the identical merge over identically-filled slots, which is what
+// makes the series equal across engines even when two channels' replies
+// land at the same virtual instant (the engines execute those events in
+// different global orders, but the merge key does not care).
 func (lw *Large) mergeProbes() {
 	lw.Sent, lw.Replies = 0, 0
 	total := 0
@@ -198,13 +204,6 @@ func (lw *Large) mergeProbes() {
 		lw.Sent += lw.slots[i].sent
 		lw.Replies += lw.slots[i].replies
 		total += len(lw.slots[i].rtts)
-	}
-	if len(lw.slots) == 1 {
-		lw.RTTs = lw.RTTs[:0]
-		for _, s := range lw.slots[0].rtts {
-			lw.RTTs = append(lw.RTTs, s.rtt)
-		}
-		return
 	}
 	type tagged struct {
 		at   sim.Time
@@ -343,11 +342,7 @@ func NewLarge(cfg LargeConfig) *Large {
 	}
 	enter(0)
 
-	if shards != nil {
-		lw.slots = make([]probeSlot, 1+cfg.Channels)
-	} else {
-		lw.slots = make([]probeSlot, 1)
-	}
+	lw.slots = make([]probeSlot, 1+cfg.Channels)
 	w.OnRunEnd(lw.mergeProbes)
 	if cfg.PingInterval > 0 {
 		lw.startTraffic()
@@ -360,43 +355,91 @@ func NewLarge(cfg LargeConfig) *Large {
 // PingInterval, phase-shifted so the load is spread evenly, and fills
 // Sent / Replies / RTTs.
 func (lw *Large) startTraffic() {
-	switch lw.Cfg.Transport {
-	case TransportTCP:
-		lw.startTCPTraffic()
-	case TransportRDM:
-		lw.startRDMTraffic()
-	default:
-		lw.startPingTraffic()
+	lw.ArmProbers()
+	n := len(lw.Stations)
+	for i := range lw.Stations {
+		probe := lw.probers[i]
+		sched := lw.Stations[i].Sched() // the station's shard on the sharded engine
+		phase := time.Duration(int64(lw.Cfg.PingInterval) * int64(i) / int64(n))
+		sched.After(phase, func() {
+			probe()
+			sched.Every(lw.Cfg.PingInterval, probe)
+		})
 	}
 }
 
-// startPingTraffic is the ICMP mode. Each station keeps one persistent
+// ArmProbers builds the per-station probe machinery for the configured
+// transport — the ICMP echo contexts, or the transport listeners and
+// per-station prober state for TCP/RDM — without scheduling any
+// traffic. NewLarge calls it on the way to arming PingInterval
+// traffic; the scenario layer (internal/scenario) calls it directly
+// and then drives Probe on its own schedule (diurnal curves, flash
+// crowds). Idempotent; schedules no events itself.
+func (lw *Large) ArmProbers() {
+	if lw.probers != nil {
+		return
+	}
+	lw.probers = make([]func(), len(lw.Stations))
+	switch lw.Cfg.Transport {
+	case TransportTCP:
+		lw.armTCPProbers()
+	case TransportRDM:
+		lw.armRDMProbers()
+	default:
+		lw.armPingProbers()
+	}
+}
+
+// Probe fires one probe from station i to the Internet host on the
+// configured transport, accounting it in Sent / Replies / RTTs like
+// the PingInterval traffic. On the sharded engine it must be called
+// from an event running on station i's scheduler
+// (Stations[i].Sched()), which is also what keeps results identical
+// across engines. ArmProbers (or PingInterval traffic) must have run
+// first.
+func (lw *Large) Probe(i int) {
+	if lw.probers == nil {
+		panic("world: Large.Probe before ArmProbers")
+	}
+	lw.probers[i]()
+}
+
+// armPingProbers is the ICMP mode. Each station keeps one persistent
 // echo context (PingOpen + PingSeq follow-ups) rather than a one-shot
 // Ping per probe: scale worlds lose plenty of probes to CSMA, and
 // one-shot contexts whose replies never arrive would leak ids without
 // bound, while a persistent context's per-seq state self-bounds at the
-// 16-bit sequence space.
-func (lw *Large) startPingTraffic() {
-	n := len(lw.Stations)
+// 16-bit sequence space. The context opens lazily inside the first
+// probe, so it is created on the station's own shard.
+func (lw *Large) armPingProbers() {
 	for i, st := range lw.Stations {
-		st := st
-		slot := lw.slot(i)
-		sched := st.Sched() // the station's shard on the sharded engine
-		phase := time.Duration(int64(lw.Cfg.PingInterval) * int64(i) / int64(n))
-		sched.After(phase, func() {
-			slot.sent++
-			id, _ := st.Stack.PingOpen(LargeInternetIP, 32, func(_ uint16, rtt time.Duration, _ ip.Addr) {
-				slot.replies++
-				slot.rtts = append(slot.rtts, rttSample{at: sched.Now(), rtt: rtt})
-			})
-			seq := uint16(0)
-			sched.Every(lw.Cfg.PingInterval, func() {
-				seq++
-				slot.sent++
-				st.Stack.PingSeq(LargeInternetIP, id, seq, 32)
-			})
-		})
+		p := &icmpProber{slot: lw.slot(i), sched: st.Sched(), st: st}
+		lw.probers[i] = p.send
 	}
+}
+
+// icmpProber keeps one station's persistent echo context.
+type icmpProber struct {
+	slot   *probeSlot
+	sched  *sim.Scheduler // the station's shard
+	st     *Host
+	opened bool
+	id     uint16
+	seq    uint16
+}
+
+func (p *icmpProber) send() {
+	p.slot.sent++
+	if !p.opened {
+		p.opened = true
+		p.id, _ = p.st.Stack.PingOpen(LargeInternetIP, 32, func(_ uint16, rtt time.Duration, _ ip.Addr) {
+			p.slot.replies++
+			p.slot.rtts = append(p.slot.rtts, rttSample{at: p.sched.Now(), rtt: rtt})
+		})
+		return
+	}
+	p.seq++
+	p.st.Stack.PingSeq(LargeInternetIP, p.id, p.seq, 32)
 }
 
 // DeliveryRatio reports replies/sent for the background traffic.
@@ -415,14 +458,14 @@ const (
 	probeBytes = 32
 )
 
-// startTCPTraffic runs the probe schedule over one persistent
+// armTCPProbers builds the probe machinery for one persistent
 // SOCK_STREAM per station: a probe is a 32-byte write, its round trip
 // completes when 32 echoed bytes return. TCP's own retransmission
 // means probes are rarely *lost* — they are late, and a backlogged
 // stream shows up as a sagging delivery ratio at the horizon plus a
 // growing RTT tail, which is exactly how an interactive session on a
 // saturated channel feels.
-func (lw *Large) startTCPTraffic() {
+func (lw *Large) armTCPProbers() {
 	inetSL := lw.Internet.Sockets()
 	ln, err := inetSL.Listen(probePort, len(lw.Stations))
 	if err != nil {
@@ -432,18 +475,18 @@ func (lw *Large) startTCPTraffic() {
 		w := socket.NewWriter(s)
 		socket.Pump(s, func(p []byte) { w.Write(append([]byte(nil), p...)) }, nil)
 	})
-	lw.eachProbeTick(func(st *Host, slot *probeSlot) func() {
-		p := &tcpProber{slot: slot, sched: st.Sched(), sl: st.Sockets()}
-		return p.send
-	})
+	for i, st := range lw.Stations {
+		p := &tcpProber{slot: lw.slot(i), sched: st.Sched(), sl: st.Sockets()}
+		lw.probers[i] = p.send
+	}
 }
 
-// startRDMTraffic runs the probe schedule over SOCK_RDM: one Reliable
+// armRDMProbers builds the probe machinery for SOCK_RDM: one Reliable
 // (unordered) message per probe, seq-stamped in the payload, echoed
 // message-for-message by the Internet host. Like TCP the transport
 // retransmits, so losses surface as latency; unlike TCP one late
 // probe never holds up the ones behind it.
-func (lw *Large) startRDMTraffic() {
+func (lw *Large) armRDMProbers() {
 	inetSL := lw.Internet.Sockets()
 	// The Internet host has no radio port, so its socket layer defaults
 	// to the fast-link RDM profile — but its echo replies cross the
@@ -467,25 +510,9 @@ func (lw *Large) startRDMTraffic() {
 		s.OnReadable = drain
 		drain()
 	})
-	lw.eachProbeTick(func(st *Host, slot *probeSlot) func() {
-		p := &rdmProber{slot: slot, sched: st.Sched(), sl: st.Sockets()}
-		return p.send
-	})
-}
-
-// eachProbeTick arms the shared probe schedule: for each station,
-// build its probe func, fire it once at the station's phase offset and
-// then every PingInterval — the same cadence startPingTraffic keeps.
-func (lw *Large) eachProbeTick(build func(st *Host, slot *probeSlot) func()) {
-	n := len(lw.Stations)
 	for i, st := range lw.Stations {
-		probe := build(st, lw.slot(i))
-		sched := st.Sched()
-		phase := time.Duration(int64(lw.Cfg.PingInterval) * int64(i) / int64(n))
-		sched.After(phase, func() {
-			probe()
-			sched.Every(lw.Cfg.PingInterval, probe)
-		})
+		p := &rdmProber{slot: lw.slot(i), sched: st.Sched(), sl: st.Sockets()}
+		lw.probers[i] = p.send
 	}
 }
 

@@ -12,6 +12,7 @@
 // lookahead. Everything radio-side (CSMA draws, DAMA polls, serial
 // bytes) stays wholly inside one shard, which is what keeps per-shard
 // event streams identical to the single-loop engine's.
+
 package world
 
 import (
