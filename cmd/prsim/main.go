@@ -49,6 +49,7 @@ type obsFlags struct {
 	filter  string
 	trace   string
 	metrics string
+	spans   bool
 }
 
 // attach wires the requested observers into a built world (gwHost
@@ -56,6 +57,10 @@ type obsFlags struct {
 // a finish func that flushes files and prints the end-of-run reports.
 func (o *obsFlags) attach(w *world.World, gwHost string) (func(), error) {
 	var finishers []func()
+	var tr *obs.Tracer
+	if o.spans {
+		tr = w.AttachTracer()
+	}
 	var flt *obs.Filter
 	if o.filter != "" {
 		f, err := obs.ParseFilter(o.filter)
@@ -80,6 +85,9 @@ func (o *obsFlags) attach(w *world.World, gwHost string) (func(), error) {
 	}
 	if o.trace != "" {
 		fr := w.EnableFlightRecorder(0)
+		if tr != nil {
+			fr.SetSpanSource(tr.Spans) // spans join the trace as flow events
+		}
 		finishers = append(finishers, func() {
 			f, err := os.Create(o.trace)
 			if err != nil {
@@ -103,6 +111,25 @@ func (o *obsFlags) attach(w *world.World, gwHost string) (func(), error) {
 			reg.WriteCSV(f)
 			f.Close()
 			fmt.Printf("# metrics: %d series -> %s\n", reg.Len(), o.metrics)
+		})
+	}
+	if o.spans {
+		finishers = append(finishers, func() {
+			bd := tr.Breakdown()
+			// Fold the per-stage histograms into the registry so a
+			// -netstat alongside -spans summarizes them too.
+			bd.Register(w.Registry(), "trace.span.")
+			fmt.Printf("# packet journeys: %d traced, %d incomplete\n", bd.Traces, bd.Incomplete)
+			bd.WriteText(os.Stdout)
+			fmt.Println("# span stream:")
+			for _, s := range tr.Spans() {
+				arg := ""
+				if s.Arg != "" {
+					arg = " [" + s.Arg + "]"
+				}
+				fmt.Printf("%12.6f %12.6f %-10s %-8s%s | %s\n",
+					s.Start.Seconds(), s.End.Seconds(), s.Stage, s.Who, arg, s.ID)
+			}
 		})
 	}
 	if o.netstat {
@@ -142,6 +169,7 @@ func main() {
 	flag.StringVar(&of.filter, "filter", "", "pcap capture filter, e.g. \"icmp or host 44.24.0.10\"")
 	flag.StringVar(&of.trace, "trace", "", "record scheduler+MAC events to this Chrome trace JSON file")
 	flag.StringVar(&of.metrics, "metrics", "", "sample every metric at 1 Hz of virtual time to this CSV file")
+	flag.BoolVar(&of.spans, "spans", false, "trace every packet's journey and print the span stream plus the per-stage latency breakdown (joins -trace output as flow events)")
 	flag.Parse()
 
 	mac, err := world.ParseMACMode(*macFlag)
@@ -276,15 +304,15 @@ func main() {
 // runScale is the E16-style scale mode: N stations spread over
 // -channels radio channels (default one), each channel behind its own
 // gateway, each station probing the Internet host once a minute. With
-// the default ICMP transport on the single-loop engine an
-// obs.PingLedger watches every seam and accounts for every ping ever
-// sent — delivered, lost to a named drop reason, or still pending at a
-// named stage. With -transport tcp or rdm the same probe schedule
+// the default ICMP transport an obs.PingLedger watches every seam and
+// accounts for every ping ever sent — delivered, lost to a named drop
+// reason, or still pending at a named stage. With -transport tcp or rdm the same probe schedule
 // rides a real transport instead, so losses become latency and the
 // summary reports transport counters in place of the fate ledger.
 // With -workers > 0 the world runs on the sharded engine (DESIGN.md
-// §3g) — results are identical, big worlds step much faster, and the
-// ledger (whose taps are not shard-safe) stays off.
+// §3g) — results, including the fate ledger (whose taps record into
+// per-shard lanes merged by virtual time), are identical, and big
+// worlds step much faster.
 func runScale(n, channels, workers int, mac world.MACMode, transport world.TransportMode, seed int64, bps int, dur time.Duration, of *obsFlags) {
 	lw := world.NewLarge(world.LargeConfig{
 		Seed: seed, Stations: n, Channels: channels, BitRate: bps,
@@ -293,11 +321,7 @@ func runScale(n, channels, workers int, mac world.MACMode, transport world.Trans
 	})
 	var ledger *obs.PingLedger
 	if transport == world.TransportICMP {
-		if workers == 0 {
-			ledger = lw.W.AttachPingLedger()
-		} else {
-			fmt.Fprintln(os.Stderr, "prsim: warning: -workers > 0 disables the ping fate ledger (its seam taps are not shard-safe); rerun with -workers 0 for per-ping fates")
-		}
+		ledger = lw.W.AttachPingLedger()
 	}
 	finish, err := of.attach(lw.W, "gw1")
 	if err != nil {
@@ -329,9 +353,6 @@ func runScale(n, channels, workers int, mac world.MACMode, transport world.Trans
 	}
 	switch transport {
 	case world.TransportICMP:
-		if ledger == nil {
-			break // sharded engine: the ledger's taps are not shard-safe
-		}
 		fmt.Println("# ping fates (first thing that went wrong, most common first):")
 		ledger.WriteFates(os.Stdout)
 	case world.TransportTCP:
@@ -364,7 +385,7 @@ func runScenario(path string, seeds, workers int, of *obsFlags) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	if of.netstat || of.pcap != "" || of.trace != "" || of.metrics != "" {
+	if of.netstat || of.pcap != "" || of.trace != "" || of.metrics != "" || of.spans {
 		r, err := scenario.Compile(sc, 1, workers)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

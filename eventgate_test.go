@@ -40,6 +40,10 @@ func TestEventGate(t *testing.T) {
 			PktsOut   float64 `json:"pkts_out"`
 			Resent    float64 `json:"resent"`
 		} `json:"e17_transfer"`
+		TracingOverhead struct {
+			Untraced float64 `json:"events_per_sim_s_untraced_n200"`
+			Traced   float64 `json:"events_per_sim_s_traced_n200"`
+		} `json:"tracing_overhead"`
 		E18Parallel map[string]struct {
 			EventsPerSimS    float64 `json:"events_per_sim_s"`
 			EventsPerSimSSeq float64 `json:"events_per_sim_s_seq"`
@@ -72,6 +76,22 @@ func TestEventGate(t *testing.T) {
 		if pt.Delivery != want.DeliveryRatio {
 			t.Errorf("E14 %s delivery_ratio = %v, committed %v", key, pt.Delivery, want.DeliveryRatio)
 		}
+	}
+
+	// Tracing-overhead cell: attaching the packet tracer must not add,
+	// remove, or reorder a single event. Both numbers gate exactly and
+	// the pair must be equal — a tracer hook that schedules anything of
+	// its own breaks the zero-perturbation contract here.
+	if committed.TracingOverhead.Traced != committed.TracingOverhead.Untraced {
+		t.Errorf("committed baseline itself shows tracing overhead: traced %v vs untraced %v events/sim-s",
+			committed.TracingOverhead.Traced, committed.TracingOverhead.Untraced)
+	}
+	if got := tracingEventsPerSimS(200, false); got != committed.TracingOverhead.Untraced {
+		t.Errorf("untraced events/sim-s = %v, committed %v", got, committed.TracingOverhead.Untraced)
+	}
+	if got := tracingEventsPerSimS(200, true); got != committed.TracingOverhead.Traced {
+		t.Errorf("traced events/sim-s = %v, committed %v — tracer hooks changed the event schedule",
+			got, committed.TracingOverhead.Traced)
 	}
 
 	// E16 rows: the DAMA poll schedule is RNG-free, so its event rate

@@ -160,6 +160,10 @@ type Resolver struct {
 	SendPacket func(p *Packet, dstHW []byte)
 	// Deliver transmits a held IP datagram once its next hop resolves.
 	Deliver func(pkt *ip.Packet, dstHW []byte)
+	// Trace, when non-nil, observes the hold queue for the packet
+	// tracer: "hold" as a datagram parks awaiting resolution, "flush"
+	// as resolution arrives and it re-enters the transmit path.
+	Trace func(event string, pkt *ip.Packet)
 
 	Stats ResolverStats
 
@@ -238,6 +242,9 @@ func (r *Resolver) Enqueue(pkt *ip.Packet, nextHop ip.Addr) {
 		r.Stats.HeldDrops += uint64(drop)
 	}
 	pe.held = append(pe.held, pkt)
+	if r.Trace != nil {
+		r.Trace("hold", pkt)
+	}
 }
 
 func (r *Resolver) sendRequest(target ip.Addr, pe *pendingEntry) {
@@ -314,6 +321,9 @@ func (r *Resolver) learn(addr ip.Addr, hw []byte) {
 		}
 		hw := r.cache[addr].HW
 		for _, pkt := range pe.held {
+			if r.Trace != nil {
+				r.Trace("flush", pkt)
+			}
 			r.Deliver(pkt, hw)
 		}
 	}

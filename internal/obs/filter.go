@@ -36,86 +36,136 @@ type pred struct {
 	num  uint16
 }
 
+// token is one whitespace-delimited word with its source position
+// (1-based line and column), so parse errors point at the offending
+// word — filters now arrive from scenario files, where "somewhere in
+// the string" is no longer good enough.
+type token struct {
+	w         string // lowercased
+	raw       string
+	line, col int
+}
+
+func tokenize(s string) []token {
+	var out []token
+	line, col := 1, 1
+	start, startLine, startCol := -1, 0, 0
+	flush := func(end int) {
+		if start >= 0 {
+			raw := s[start:end]
+			out = append(out, token{w: strings.ToLower(raw), raw: raw, line: startLine, col: startCol})
+			start = -1
+		}
+	}
+	for i, c := range s {
+		switch c {
+		case ' ', '\t', '\r':
+			flush(i)
+			col++
+		case '\n':
+			flush(i)
+			line++
+			col = 1
+		default:
+			if start < 0 {
+				start, startLine, startCol = i, line, col
+			}
+			col++
+		}
+	}
+	flush(len(s))
+	return out
+}
+
 // ParseFilter compiles a filter expression; empty input returns a
-// match-all filter.
+// match-all filter. Errors carry the line and column of the word that
+// broke the parse.
 func ParseFilter(s string) (*Filter, error) {
 	f := &Filter{src: s}
-	fields := strings.Fields(s)
-	if len(fields) == 0 {
+	toks := tokenize(s)
+	if len(toks) == 0 {
 		return f, nil
 	}
 	conj := []pred{}
 	i := 0
-	next := func() (string, bool) {
-		if i >= len(fields) {
-			return "", false
+	next := func() (token, bool) {
+		if i >= len(toks) {
+			return token{}, false
 		}
-		w := strings.ToLower(fields[i])
+		tk := toks[i]
 		i++
-		return w, true
+		return tk, true
+	}
+	perr := func(tk token, format string, args ...any) error {
+		return fmt.Errorf("obs: filter %q: line %d col %d: %s", s, tk.line, tk.col, fmt.Sprintf(format, args...))
 	}
 	for {
-		w, ok := next()
+		tk, ok := next()
 		if !ok {
 			break
 		}
-		if w == "or" {
+		if tk.w == "or" {
 			if len(conj) == 0 {
-				return nil, fmt.Errorf("obs: filter %q: dangling \"or\"", s)
+				return nil, perr(tk, "dangling %q", "or")
 			}
 			f.alts = append(f.alts, conj)
 			conj = []pred{}
 			continue
 		}
-		if w == "and" {
+		if tk.w == "and" {
 			continue // conjunction is the default
 		}
 		var p pred
-		if w == "not" {
-			p.neg = true
-			if w, ok = next(); !ok {
-				return nil, fmt.Errorf("obs: filter %q: dangling \"not\"", s)
+		for tk.w == "not" { // chained "not"s toggle
+			p.neg = !p.neg
+			notTk := tk
+			if tk, ok = next(); !ok {
+				return nil, perr(notTk, "dangling %q", "not")
 			}
 		}
-		switch w {
+		switch tk.w {
 		case "host", "src", "dst":
 			arg, ok := next()
 			if !ok {
-				return nil, fmt.Errorf("obs: filter %q: %q needs an address", s, w)
+				return nil, perr(tk, "%q needs an address", tk.w)
 			}
-			a, err := ip.ParseAddr(arg)
+			a, err := ip.ParseAddr(arg.raw)
 			if err != nil {
-				return nil, fmt.Errorf("obs: filter %q: %v", s, err)
+				return nil, perr(arg, "%v", err)
 			}
-			p.kind, p.addr = w[0], a // 'h', 's', 'd'
-			if w == "host" {
+			p.addr = a
+			p.kind = tk.w[0] // 's', 'd'
+			if tk.w == "host" {
 				p.kind = 'h'
 			}
 		case "proto":
 			arg, ok := next()
 			if !ok {
-				return nil, fmt.Errorf("obs: filter %q: \"proto\" needs a number or name", s)
+				return nil, perr(tk, "%q needs a number or name", "proto")
 			}
-			n, err := protoNumber(arg)
+			n, err := protoNumber(arg.w)
 			if err != nil {
-				return nil, fmt.Errorf("obs: filter %q: %v", s, err)
+				return nil, perr(arg, "%v", err)
 			}
 			p.kind, p.num = 'p', n
 		case "icmp", "tcp", "udp", "rdm":
-			n, _ := protoNumber(w)
+			n, _ := protoNumber(tk.w)
 			p.kind, p.num = 'p', n
 		case "port":
 			arg, ok := next()
 			if !ok {
-				return nil, fmt.Errorf("obs: filter %q: \"port\" needs a number", s)
+				return nil, perr(tk, "%q needs a number", "port")
 			}
-			n, err := strconv.ParseUint(arg, 10, 16)
+			n, err := strconv.ParseUint(arg.w, 10, 16)
 			if err != nil {
-				return nil, fmt.Errorf("obs: filter %q: bad port %q", s, arg)
+				if strings.ContainsAny(arg.w, "-:,") {
+					return nil, perr(arg, "bad port %q (ranges are not supported; use \"port A or port B\")", arg.raw)
+				}
+				return nil, perr(arg, "bad port %q", arg.raw)
 			}
 			p.kind, p.num = 'P', uint16(n)
 		default:
-			return nil, fmt.Errorf("obs: filter %q: unknown keyword %q", s, w)
+			return nil, perr(tk, "unknown keyword %q", tk.raw)
 		}
 		conj = append(conj, p)
 	}

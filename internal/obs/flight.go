@@ -102,14 +102,20 @@ func (fr *FlightRecorder) Events() []FlightEvent {
 	return append(out, fr.buf[:fr.next]...)
 }
 
-// traceEvent is the Chrome trace_event JSON shape ("i" = instant).
+// traceEvent is the Chrome trace_event JSON shape: "i" instants for
+// flight-recorder entries, "X" complete events for tracer spans, and
+// "s"/"t"/"f" flow events stitching a packet journey's spans into one
+// connected arc.
 type traceEvent struct {
 	Name  string            `json:"name"`
 	Cat   string            `json:"cat"`
 	Phase string            `json:"ph"`
 	TS    float64           `json:"ts"` // microseconds
+	Dur   float64           `json:"dur,omitempty"`
 	PID   int               `json:"pid"`
 	TID   int               `json:"tid"`
+	ID    string            `json:"id,omitempty"` // flow-event binding id
+	BP    string            `json:"bp,omitempty"`
 	Scope string            `json:"s,omitempty"`
 	Args  map[string]string `json:"args,omitempty"`
 }
@@ -158,7 +164,17 @@ func (fr *FlightRecorder) WriteTrace(w io.Writer) error {
 type MultiRecorder struct {
 	names []string
 	lanes []*FlightRecorder
+
+	// spanSource, when set (SetSpanSource), contributes the packet
+	// tracer's span stream to WriteTrace.
+	spanSource func() []Span
 }
+
+// SetSpanSource attaches a span stream (Tracer.Spans) to the recorder:
+// WriteTrace renders each trace's spans as complete events in a
+// "packet journeys" process, one row per trace, connected by flow
+// events so a journey reads as one arc across the timeline.
+func (m *MultiRecorder) SetSpanSource(fn func() []Span) { m.spanSource = fn }
 
 // NewMultiRecorder builds an empty recorder; add lanes with Lane.
 func NewMultiRecorder() *MultiRecorder { return &MultiRecorder{} }
@@ -274,6 +290,56 @@ func (m *MultiRecorder) WriteTrace(w io.Writer) error {
 			te.Args = map[string]string{"arg": e.ev.Arg}
 		}
 		out.TraceEvents = append(out.TraceEvents, te)
+	}
+	if m.spanSource != nil {
+		spanPID := len(m.names) + 1
+		out.TraceEvents = append(out.TraceEvents, traceEvent{
+			Name: "process_name", Phase: "M", PID: spanPID,
+			Args: map[string]string{"name": "packet journeys"},
+		})
+		spans := m.spanSource()
+		tids := map[TraceID]int{}
+		counts := map[TraceID]int{}
+		for _, s := range spans {
+			counts[s.ID]++
+		}
+		seen := map[TraceID]int{}
+		for _, s := range spans {
+			tid, ok := tids[s.ID]
+			if !ok {
+				tid = len(tids) + 1
+				tids[s.ID] = tid
+			}
+			id := fmt.Sprintf("trace-%d", tid)
+			args := map[string]string{"trace": s.ID.String(), "who": s.Who}
+			if s.Arg != "" {
+				args["arg"] = s.Arg
+			}
+			out.TraceEvents = append(out.TraceEvents, traceEvent{
+				Name: s.Stage, Cat: "span", Phase: "X",
+				TS:  float64(s.Start.Duration().Microseconds()),
+				Dur: float64(s.Duration().Microseconds()),
+				PID: spanPID, TID: tid, Args: args,
+			})
+			// The flow arc: start at the first span, step through the
+			// middle ones, finish (binding to the enclosing slice) at
+			// the last.
+			seen[s.ID]++
+			fe := traceEvent{
+				Name: "journey", Cat: "span", Phase: "t",
+				TS:  float64(s.Start.Duration().Microseconds()),
+				PID: spanPID, TID: tid, ID: id,
+			}
+			switch seen[s.ID] {
+			case 1:
+				fe.Phase = "s"
+			case counts[s.ID]:
+				fe.Phase = "f"
+				fe.BP = "e"
+				fe.TS = float64(s.End.Duration().Microseconds())
+			}
+			out.TraceEvents = append(out.TraceEvents, fe)
+		}
 	}
 	buf, err := json.Marshal(out)
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 
 	"packetradio/internal/ax25"
 	"packetradio/internal/ip"
+	"packetradio/internal/sim"
 )
 
 // PingLedger accounts for every echo request a world sends: each ping
@@ -22,6 +23,16 @@ import (
 //
 // so an E16-style saturation run can say exactly where every lost
 // probe died instead of just reporting a delivery ratio.
+//
+// Recording is shard-safe: taps write timestamped events into per-lane
+// buffers (one lane per shard, each written only by its shard's
+// goroutine — the MultiRecorder discipline), and reads fold the lanes
+// into the ladder state stable-sorted by (virtual time, lane). Events
+// for one ping at one instant always share a lane (its causal chain
+// runs within a shard; a cross-shard hop advances time by at least the
+// seam's lookahead), so the folded ladder is identical on the
+// single-loop and sharded engines at any worker count — the equality
+// the shard equivalence suite gates.
 type PingLedger struct {
 	// Unwrap, when set, strips a MAC-layer wrapper (the DAMA demand
 	// header) off an on-air frame before AX.25 decoding. Returns ok
@@ -32,6 +43,9 @@ type PingLedger struct {
 	recs      map[pingKey]*pingRec
 	sent      int
 	delivered int
+
+	names []string
+	lanes []*LedgerLane
 }
 
 type pingKey struct {
@@ -90,6 +104,72 @@ func (l *PingLedger) SetHostAddrs(host string, addrs ...ip.Addr) {
 	}
 }
 
+// ledgerEv is one buffered ladder event: an advance (stage > 0) or a
+// loss (reason != "").
+type ledgerEv struct {
+	t      sim.Time
+	k      pingKey
+	isReq  bool
+	stage  int
+	create bool
+	reason string
+}
+
+// LedgerLane is one shard's event buffer. Taps derived from a lane run
+// inside that shard's event loop only, so appends need no locks.
+type LedgerLane struct {
+	led *PingLedger
+	now func() sim.Time
+	evs []ledgerEv
+}
+
+// Lane creates (or returns) the named lane. now must read the owning
+// shard's scheduler clock.
+func (l *PingLedger) Lane(name string, now func() sim.Time) *LedgerLane {
+	for i, n := range l.names {
+		if n == name {
+			return l.lanes[i]
+		}
+	}
+	ln := &LedgerLane{led: l, now: now}
+	l.names = append(l.names, name)
+	l.lanes = append(l.lanes, ln)
+	return ln
+}
+
+// merge folds every lane's buffered events into the ladder state in
+// (virtual time, lane) order and clears the buffers. Idempotent and
+// incremental; every read calls it first. Call only with no run in
+// flight.
+func (l *PingLedger) merge() {
+	type tagged struct {
+		lane int
+		ev   ledgerEv
+	}
+	var all []tagged
+	for i, ln := range l.lanes {
+		for _, ev := range ln.evs {
+			all = append(all, tagged{lane: i, ev: ev})
+		}
+	}
+	sort.SliceStable(all, func(a, b int) bool {
+		if all[a].ev.t != all[b].ev.t {
+			return all[a].ev.t < all[b].ev.t
+		}
+		return all[a].lane < all[b].lane
+	})
+	for _, tg := range all {
+		if tg.ev.reason != "" {
+			l.lose(tg.ev.k, tg.ev.isReq, tg.ev.reason)
+		} else {
+			l.advance(tg.ev.k, tg.ev.stage, tg.ev.create)
+		}
+	}
+	for _, ln := range l.lanes {
+		ln.evs = ln.evs[:0]
+	}
+}
+
 // pingFrom extracts a ledger key from a datagram: echo requests key on
 // the source (the station), replies on the destination.
 func pingFrom(pkt *ip.Packet) (k pingKey, isReq, ok bool) {
@@ -125,28 +205,32 @@ func (l *PingLedger) advance(k pingKey, stage int, create bool) {
 	}
 }
 
+func (ln *LedgerLane) advance(k pingKey, isReq bool, stage int, create bool) {
+	ln.evs = append(ln.evs, ledgerEv{t: ln.now(), k: k, isReq: isReq, stage: stage, create: create})
+}
+
 // StackTap returns an ipstack.Stack.Tap-shaped closure for the named
-// host; wire it to that host's stack to feed the ledger.
-func (l *PingLedger) StackTap(host string) func(dir string, pkt *ip.Packet, ifName string) {
+// host; wire it to that host's stack to feed the lane.
+func (ln *LedgerLane) StackTap(host string) func(dir string, pkt *ip.Packet, ifName string) {
 	return func(dir string, pkt *ip.Packet, ifName string) {
 		k, isReq, ok := pingFrom(pkt)
 		if !ok {
 			return
 		}
-		mine := l.hostAddrs[host]
+		mine := ln.led.hostAddrs[host]
 		switch {
 		case isReq && dir == "out" && mine[pkt.Src]:
-			l.advance(k, stReqSent, true)
+			ln.advance(k, isReq, stReqSent, true)
 		case isReq && dir == "fwd":
-			l.advance(k, stReqFwd, false)
+			ln.advance(k, isReq, stReqFwd, false)
 		case isReq && dir == "in" && mine[pkt.Dst]:
-			l.advance(k, stReqArrived, false)
+			ln.advance(k, isReq, stReqArrived, false)
 		case !isReq && dir == "out":
-			l.advance(k, stRepSent, false)
+			ln.advance(k, isReq, stRepSent, false)
 		case !isReq && dir == "fwd":
-			l.advance(k, stRepFwd, false)
+			ln.advance(k, isReq, stRepFwd, false)
 		case !isReq && dir == "in" && mine[pkt.Dst]:
-			l.advance(k, stDelivered, false)
+			ln.advance(k, isReq, stDelivered, false)
 		}
 	}
 }
@@ -189,8 +273,8 @@ func (l *PingLedger) decodeFrame(b []byte) (f *ax25.Frame, pkt *ip.Packet, ok bo
 // tap. Only the link-layer addressee matters: overheard copies and
 // copies lost to bystanders don't move the ledger. lost=false advances
 // the air stage; lost=true pins reason as the ping's fate.
-func (l *PingLedger) RadioFrame(receiverCall string, frame []byte, lost bool, reason string) {
-	f, pkt, ok := l.decodeFrame(frame)
+func (ln *LedgerLane) RadioFrame(receiverCall string, frame []byte, lost bool, reason string) {
+	f, pkt, ok := ln.led.decodeFrame(frame)
 	if !ok || f.LinkDst().Callsign() != receiverCall {
 		return
 	}
@@ -200,20 +284,20 @@ func (l *PingLedger) RadioFrame(receiverCall string, frame []byte, lost bool, re
 	}
 	if !lost {
 		if isReq {
-			l.advance(k, stReqAir, false)
+			ln.advance(k, isReq, stReqAir, false)
 		} else {
-			l.advance(k, stRepAir, false)
+			ln.advance(k, isReq, stRepAir, false)
 		}
 		return
 	}
-	l.lose(k, isReq, reason)
+	ln.evs = append(ln.evs, ledgerEv{t: ln.now(), k: k, isReq: isReq, reason: reason})
 }
 
 // DropFrame records a queue-drop of a frame at some seam (driver ipq,
 // TNC host queue, MAC transmit queue); body is the frame in whatever
 // dress that seam uses.
-func (l *PingLedger) DropFrame(reason string, body []byte) {
-	_, pkt, ok := l.decodeFrame(body)
+func (ln *LedgerLane) DropFrame(reason string, body []byte) {
+	_, pkt, ok := ln.led.decodeFrame(body)
 	if !ok {
 		return
 	}
@@ -221,17 +305,17 @@ func (l *PingLedger) DropFrame(reason string, body []byte) {
 	if !ok {
 		return
 	}
-	l.lose(k, isReq, reason)
+	ln.evs = append(ln.evs, ledgerEv{t: ln.now(), k: k, isReq: isReq, reason: reason})
 }
 
 // DropPacket records a drop of a bare datagram (an ipstack-level drop:
 // no route, TTL, fragmentation failure).
-func (l *PingLedger) DropPacket(reason string, pkt *ip.Packet) {
+func (ln *LedgerLane) DropPacket(reason string, pkt *ip.Packet) {
 	k, isReq, ok := pingFrom(pkt)
 	if !ok {
 		return
 	}
-	l.lose(k, isReq, reason)
+	ln.evs = append(ln.evs, ledgerEv{t: ln.now(), k: k, isReq: isReq, reason: reason})
 }
 
 func (l *PingLedger) lose(k pingKey, isReq bool, reason string) {
@@ -247,15 +331,16 @@ func (l *PingLedger) lose(k pingKey, isReq bool, reason string) {
 }
 
 // Sent reports how many pings the ledger saw leave a station.
-func (l *PingLedger) Sent() int { return l.sent }
+func (l *PingLedger) Sent() int { l.merge(); return l.sent }
 
 // Delivered reports how many replies made it back.
-func (l *PingLedger) Delivered() int { return l.delivered }
+func (l *PingLedger) Delivered() int { l.merge(); return l.delivered }
 
 // Fates classifies every tracked ping: "delivered", a terminal loss
 // reason, or "pending: ..." for pings still mid-ladder. The counts
 // always sum to Sent().
 func (l *PingLedger) Fates() map[string]int {
+	l.merge()
 	out := make(map[string]int)
 	for _, r := range l.recs {
 		switch {

@@ -74,6 +74,16 @@ func (h *Histogram) Observe(v float64) {
 // Count reports the number of samples.
 func (h *Histogram) Count() uint64 { return h.total }
 
+// Reset discards every sample, keeping the bucket layout — for
+// instruments that republish a freshly-aggregated distribution (the
+// tracer's Breakdown.Register) instead of observing incrementally.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total, h.sum = 0, 0
+}
+
 // Mean reports the sample mean (0 when empty).
 func (h *Histogram) Mean() float64 {
 	if h.total == 0 {
@@ -199,6 +209,16 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	h := NewHistogram(bounds)
 	r.add(name, entry{name: name, read: func() float64 { return float64(h.Count()) }, hist: h})
 	return h
+}
+
+// HistogramFor returns the named registered histogram, if the name is
+// registered and is a histogram — the accessor Netstat's percentile
+// summaries read through.
+func (r *Registry) HistogramFor(name string) (*Histogram, bool) {
+	if i, ok := r.names[name]; ok && r.entries[i].hist != nil {
+		return r.entries[i].hist, true
+	}
+	return nil, false
 }
 
 // RegisterStruct registers every uint64 and time.Duration field of the

@@ -321,6 +321,14 @@ type Transceiver struct {
 	// not retain the slice.
 	OnDrop func(reason string, frame []byte)
 
+	// TraceMAC, when non-nil, observes the MAC seam for the packet
+	// tracer: "queue" as Send accepts a frame, "tx-start" as the
+	// transmitter keys up with one (deferrals = slot waits the frame
+	// burned before winning the channel; MAC-wrapped and control frames
+	// pass through in their on-air dress). Read-only: the hook must not
+	// retain the slice or touch the transceiver.
+	TraceMAC func(event string, frame []byte, deferrals uint64)
+
 	ch  *Channel
 	rx  func(frame []byte, damaged bool)
 	acc Accessor // channel-access policy; csma unless SetAccessor replaced it
@@ -565,6 +573,9 @@ func (t *Transceiver) Send(frame []byte) {
 	}
 	t.queue = append(t.queue, append([]byte(nil), frame...))
 	t.Stats.FramesQueued++
+	if t.TraceMAC != nil {
+		t.TraceMAC("queue", frame, 0)
+	}
 	if !t.contending && !t.transmitting {
 		t.acc.Start(t)
 	}
@@ -687,8 +698,10 @@ func (t *Transceiver) onSlot() {
 	t.stopContention()
 	frame := t.queue[0]
 	t.queue = t.queue[1:]
-	t.frameDeferrals = 0
+	// frameDeferrals resets after the key-up so the tx-start trace hook
+	// can report what this frame waited through.
 	t.transmitFrame(frame, false)
+	t.frameDeferrals = 0
 }
 
 // contend runs one step of the seed per-slot polling CSMA
@@ -729,8 +742,8 @@ func (t *Transceiver) contend() {
 	t.contending = false
 	frame := t.queue[0]
 	t.queue = t.queue[1:]
-	t.frameDeferrals = 0
 	t.transmitFrame(frame, false)
+	t.frameDeferrals = 0
 }
 
 // giveUpPerSlot is the per-slot path's give-up: drop the head frame and
@@ -774,6 +787,9 @@ func (c *Channel) reresolveWaiters() {
 }
 
 func (t *Transceiver) transmitFrame(frame []byte, control bool) {
+	if t.TraceMAC != nil {
+		t.TraceMAC("tx-start", frame, t.frameDeferrals)
+	}
 	c := t.ch
 	now := c.sched.Now()
 	dur := t.Params.TXDelay + c.AirTime(len(frame))

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"packetradio/internal/ip"
+	"packetradio/internal/obs"
 	"packetradio/internal/radio"
 	"packetradio/internal/sim"
 	"packetradio/internal/world"
@@ -34,6 +35,11 @@ type Runner struct {
 	// Internet is the Ethernet host baseline probes target (inet or
 	// june).
 	Internet *world.Host
+
+	// Tracer is the packet-journey tracer, attached by Compile when the
+	// scenario declares span_latency gates (callers may also attach one
+	// themselves via W.AttachTracer before running).
+	Tracer *obs.Tracer
 
 	probers []func() // baseline per-station probe, large or seattle
 	slots   []pairSlot
@@ -111,6 +117,9 @@ func Compile(sc *Scenario, seed int64, workers int) (*Runner, error) {
 		return nil, err
 	}
 	r.tagRegistry(workers)
+	if sc.Gates != nil && len(sc.Gates.SpanLatency) > 0 {
+		r.Tracer = r.W.AttachTracer()
+	}
 	return r, nil
 }
 

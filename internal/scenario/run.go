@@ -33,6 +33,12 @@ type RunStats struct {
 	// ControlShare is MAC control airtime over total airtime, summed
 	// across channels (0 when the channels never carried a frame).
 	ControlShare float64
+
+	// SpanShares and SpanDurs are the per-stage latency-attribution
+	// samples from the tracer (one share and one duration per complete
+	// trace, keyed by stage name). Nil unless the runner had a tracer.
+	SpanShares map[string][]float64
+	SpanDurs   map[string][]time.Duration
 }
 
 // RTTPercentile reports the p-th percentile (0..100) of this seed's
@@ -58,6 +64,11 @@ func (r *Runner) Run() RunStats {
 	}
 	r.ran = true
 	r.W.Run(r.Scenario.Run.Warmup.D())
+	if r.Tracer != nil {
+		// Gate the timed window only: traces cut in half by the warmup
+		// boundary would otherwise skew the attribution.
+		r.Tracer.Reset()
+	}
 	r.W.Run(r.Scenario.Run.Duration.D())
 	return r.Stats()
 }
@@ -84,6 +95,15 @@ func (r *Runner) Stats() RunStats {
 	}
 	if air > 0 {
 		st.ControlShare = float64(ctl) / float64(air)
+	}
+	if r.Tracer != nil {
+		bd := r.Tracer.Breakdown()
+		st.SpanShares = make(map[string][]float64)
+		st.SpanDurs = make(map[string][]time.Duration)
+		for _, stage := range bd.Stages() {
+			st.SpanShares[stage] = bd.ShareSamples(stage)
+			st.SpanDurs[stage] = bd.DurationSamples(stage)
+		}
 	}
 	return st
 }
@@ -191,6 +211,55 @@ func (g *GateReport) check() {
 		}
 		add("control_airtime.share", worst <= max, ratio(worst), "<= "+ratio(max))
 	}
+	for _, sl := range gates.SpanLatency {
+		var shares []float64
+		var durs []time.Duration
+		for _, st := range g.Stats {
+			shares = append(shares, st.SpanShares[sl.Stage]...)
+			durs = append(durs, st.SpanDurs[sl.Stage]...)
+		}
+		if sl.ShareP95Max > 0 {
+			if len(shares) == 0 {
+				add("span."+sl.Stage+".share_p95", false, "no traces", "<= "+ratio(sl.ShareP95Max))
+			} else {
+				p95 := floatPercentile(shares, 95)
+				add("span."+sl.Stage+".share_p95", p95 <= sl.ShareP95Max,
+					ratio(p95), "<= "+ratio(sl.ShareP95Max))
+			}
+		}
+		if sl.P95Max > 0 {
+			if len(durs) == 0 {
+				add("span."+sl.Stage+".p95", false, "no traces", "<= "+sl.P95Max.String())
+			} else {
+				p95 := durPercentile(durs, 95)
+				add("span."+sl.Stage+".p95", p95 <= sl.P95Max.D(),
+					p95.String(), "<= "+sl.P95Max.String())
+			}
+		}
+	}
+}
+
+// floatPercentile reports the p-th percentile of vs by the same
+// index rule RTTPercentile uses, so span gates and RTT gates agree on
+// what "p95" means. vs may arrive unsorted and is not modified.
+func floatPercentile(vs []float64, p int) float64 {
+	sorted := append([]float64(nil), vs...)
+	sort.Float64s(sorted)
+	i := len(sorted) * p / 100
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func durPercentile(vs []time.Duration, p int) time.Duration {
+	sorted := append([]time.Duration(nil), vs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	i := len(sorted) * p / 100
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
 }
 
 // WriteText renders the report: the scenario summary, one line per

@@ -219,6 +219,23 @@ type Gates struct {
 	// ControlAirtimeShareMax bounds the MAC control share of total
 	// airtime (polls, elections), checked against the worst seed.
 	ControlAirtimeShareMax float64 `json:"control_airtime_share_max,omitempty"`
+
+	// SpanLatency bounds per-stage latency attribution from the packet
+	// tracer (one entry per stage of interest). Listing any entry
+	// attaches a tracer to every evaluation run.
+	SpanLatency []SpanLatencyGate `json:"span_latency,omitempty"`
+}
+
+// SpanLatencyGate bounds one journey stage ("mac-wait", "airtime",
+// "arp-wait", ...; see obs.SpanStages) over the traces pooled across
+// every seed. ShareP95Max bounds the 95th percentile of the stage's
+// share of each traced round trip (0..1); P95Max bounds the stage's
+// absolute p95 duration. Zero-valued bounds are unchecked, but each
+// entry must set at least one.
+type SpanLatencyGate struct {
+	Stage       string   `json:"stage"`
+	ShareP95Max float64  `json:"share_p95_max,omitempty"`
+	P95Max      Duration `json:"p95_max,omitempty"`
 }
 
 // DeliveryGate bounds the across-seed delivery-ratio distribution

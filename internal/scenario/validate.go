@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"strings"
 
+	"packetradio/internal/obs"
 	"packetradio/internal/world"
 )
 
@@ -320,6 +321,26 @@ func (sc *Scenario) Validate() error {
 			ratio("gates.delivery.min_min", d.MinMin)
 		}
 		ratio("gates.control_airtime_share_max", g.ControlAirtimeShareMax)
+		for i, sl := range g.SpanLatency {
+			field := fmt.Sprintf("gates.span_latency[%d]", i)
+			known := false
+			for _, st := range obs.SpanStages() {
+				if sl.Stage == st {
+					known = true
+					break
+				}
+			}
+			if !known {
+				bad(field+".stage", "unknown stage %q (want one of %s)",
+					sl.Stage, strings.Join(obs.SpanStages(), ", "))
+			}
+			if sl.ShareP95Max < 0 || sl.ShareP95Max > 1 {
+				bad(field+".share_p95_max", "%v outside 0..1", sl.ShareP95Max)
+			}
+			if sl.ShareP95Max == 0 && sl.P95Max == 0 {
+				bad(field, "needs share_p95_max or p95_max")
+			}
+		}
 	}
 
 	if probs != nil {

@@ -82,7 +82,9 @@ func (w *World) Registry() *obs.Registry {
 // Netstat writes the full registry snapshot as aligned name/value
 // lines, grouped by top-level prefix with a blank line between groups
 // — the simulation's `netstat -s`. prefix, when non-empty, restricts
-// the listing ("host.pc1", "radio.").
+// the listing ("host.pc1", "radio."). Histograms render as a one-line
+// percentile summary (count, mean, p50/p95/p99) instead of a raw
+// sample count; the JSON and CSV forms are unchanged.
 func (w *World) Netstat(out io.Writer, prefix string) {
 	snap := w.Registry().Snapshot()
 	width := 0
@@ -109,6 +111,13 @@ func (w *World) Netstat(out io.Writer, prefix string) {
 			fmt.Fprintln(out)
 		}
 		lastGroup = group
+		if h, ok := w.Registry().HistogramFor(name); ok {
+			fmt.Fprintf(out, "%-*s count=%d mean=%s p50=%s p95=%s p99=%s\n",
+				width, name, h.Count(), obs.FormatValue(h.Mean()),
+				obs.FormatValue(h.Quantile(0.50)), obs.FormatValue(h.Quantile(0.95)),
+				obs.FormatValue(h.Quantile(0.99)))
+			continue
+		}
 		v, _ := w.Registry().Value(name)
 		fmt.Fprintf(out, "%-*s %v\n", width, name, obs.FormatValue(v))
 	}
@@ -258,29 +267,44 @@ func (w *World) CaptureIP(host string, out io.Writer, filter *obs.Filter) (*obs.
 // topology is built and before traffic starts. The hooks add no
 // scheduler events, so ledgered runs keep their event counts — E16
 // attaches one to explain every undelivered ping.
+//
+// Every hook records into the lane of the shard it runs on (one
+// "world" lane on the single-loop engine), so the ledger is safe — and
+// bit-identical — at any -workers count.
 func (w *World) AttachPingLedger() *obs.PingLedger {
 	l := obs.NewPingLedger()
 	l.Unwrap = dama.Unwrap
+	laneFor := func(s *sim.Scheduler) *obs.LedgerLane {
+		name := "world"
+		if w.group != nil {
+			if sh := w.group.ShardOf(s); sh != nil {
+				name = sh.Name
+			}
+		}
+		return l.Lane(name, s.Now)
+	}
 	for _, ch := range w.channels {
+		ln := laneFor(ch.Scheduler())
 		prev := ch.Tap
 		ch.Tap = func(sender, receiver *radio.Transceiver, payload []byte, outcome radio.TapOutcome, consumed bool) {
 			if prev != nil {
 				prev(sender, receiver, payload, outcome, consumed)
 			}
-			l.RadioFrame(receiver.Name, payload, outcome != radio.TapOK, outcome.String())
+			ln.RadioFrame(receiver.Name, payload, outcome != radio.TapOK, outcome.String())
 		}
 	}
 	for name, h := range w.hosts {
-		chainStackTap(h.Stack, l.StackTap(name))
+		ln := laneFor(h.Sched())
+		chainStackTap(h.Stack, ln.StackTap(name))
 		for _, ifName := range h.Stack.IfNames() {
 			if addr, _, ok := h.Stack.IfAddr(ifName); ok {
 				l.SetHostAddrs(name, addr)
 			}
 		}
 		for _, p := range h.radios {
-			chainFrameDrop(&p.Driver.OnDrop, l.DropFrame)
-			chainFrameDrop(&p.TNC.OnDrop, l.DropFrame)
-			chainFrameDrop(&p.RF.OnDrop, l.DropFrame)
+			chainFrameDrop(&p.Driver.OnDrop, ln.DropFrame)
+			chainFrameDrop(&p.TNC.OnDrop, ln.DropFrame)
+			chainFrameDrop(&p.RF.OnDrop, ln.DropFrame)
 		}
 	}
 	return l

@@ -1,9 +1,15 @@
 package world
 
 import (
+	"reflect"
 	"sort"
+	"strings"
 	"testing"
 	"time"
+
+	"packetradio/internal/obs"
+	"packetradio/internal/radio"
+	"packetradio/internal/sim"
 )
 
 // largeRun builds a multi-channel NewLarge on the given engine and runs
@@ -98,6 +104,117 @@ func TestShardedWorkerInvariance(t *testing.T) {
 	for i := range sa {
 		if sa[i] != sb[i] {
 			t.Fatalf("shard %q stats differ across worker counts: %+v vs %+v", sa[i].Name, sa[i], sb[i])
+		}
+	}
+}
+
+// TestShardedLedgerMatchesSequential pins the ping fate ledger's
+// engine independence: the per-shard lanes merge into the same fate
+// table — and the same rendered report — on the single-loop engine and
+// at any worker count.
+func TestShardedLedgerMatchesSequential(t *testing.T) {
+	run := func(workers int) *obs.PingLedger {
+		lw := NewLarge(LargeConfig{
+			Seed:         7,
+			Stations:     60,
+			Channels:     6,
+			PingInterval: time.Minute,
+			Workers:      workers,
+		})
+		if workers > 1 {
+			lw.W.Shards().SetWorkers(workers)
+		}
+		led := lw.W.AttachPingLedger()
+		lw.W.Run(3 * time.Minute)
+		return led
+	}
+	ref := run(0)
+	if ref.Sent() == 0 || ref.Delivered() == 0 {
+		t.Fatalf("ledger saw no traffic: sent=%d delivered=%d", ref.Sent(), ref.Delivered())
+	}
+	var refReport strings.Builder
+	ref.WriteFates(&refReport)
+	for _, workers := range []int{1, 4} {
+		led := run(workers)
+		if led.Sent() != ref.Sent() || led.Delivered() != ref.Delivered() {
+			t.Fatalf("workers=%d: sent/delivered %d/%d differ from sequential %d/%d",
+				workers, led.Sent(), led.Delivered(), ref.Sent(), ref.Delivered())
+		}
+		if !reflect.DeepEqual(led.Fates(), ref.Fates()) {
+			t.Fatalf("workers=%d fate table differs:\nsequential %v\nsharded    %v",
+				workers, ref.Fates(), led.Fates())
+		}
+		var report strings.Builder
+		led.WriteFates(&report)
+		if report.String() != refReport.String() {
+			t.Fatalf("workers=%d fate report differs:\n--- sequential\n%s--- sharded\n%s",
+				workers, refReport.String(), report.String())
+		}
+	}
+}
+
+// TestRetuneMidTransmissionAcrossEngines retunes a station to another
+// channel while one of its frames is on the air — the nastiest spot
+// for a shard boundary, since the channel's delivery events and the
+// station's MAC state race in wall-clock but must not in virtual time.
+// Airtime accounting has to agree exactly across engines, and differ
+// from an undisturbed control run (proving the retune actually landed
+// mid-flight).
+func TestRetuneMidTransmissionAcrossEngines(t *testing.T) {
+	const stations, channels = 12, 1
+
+	// Probe run: find when station 0's first frame keys up and how
+	// long it airs, to aim the retune at the middle of that frame.
+	var txStart sim.Time
+	var frameLen int
+	probe := NewLarge(LargeConfig{
+		Seed: 11, Stations: stations, Channels: channels, PingInterval: time.Minute,
+	})
+	rf0 := probe.Stations[0].Radio("pr0").RF
+	rf0.TraceMAC = func(event string, frame []byte, _ uint64) {
+		if event == "tx-start" && frameLen == 0 {
+			txStart = probe.Stations[0].Sched().Now()
+			frameLen = len(frame)
+		}
+	}
+	probe.W.Run(3 * time.Minute)
+	if frameLen == 0 {
+		t.Fatal("station 0 never transmitted in the probe run")
+	}
+	mid := txStart.Add(probe.Channels[0].AirTime(frameLen) / 2)
+
+	type result struct {
+		tx      radio.TxStats
+		airtime time.Duration
+	}
+	run := func(workers int, retune bool) result {
+		lw := NewLarge(LargeConfig{
+			Seed: 11, Stations: stations, Channels: channels, PingInterval: time.Minute,
+			Workers: workers,
+		})
+		if workers > 1 {
+			lw.W.Shards().SetWorkers(workers)
+		}
+		st := lw.Stations[0]
+		rf := st.Radio("pr0").RF
+		if retune {
+			extra := radio.NewChannel(st.Sched(), lw.Cfg.BitRate)
+			st.Sched().At(mid, func() { rf.Retune(extra) })
+		}
+		lw.W.Run(3 * time.Minute)
+		return result{tx: rf.Stats, airtime: lw.Channels[0].Stats.Airtime}
+	}
+
+	seq := run(0, true)
+	control := run(0, false)
+	if seq == control {
+		t.Fatalf("retune at %v changed nothing — it did not land mid-transmission", mid)
+	}
+	for _, workers := range []int{1, 4} {
+		shd := run(workers, true)
+		if shd != seq {
+			t.Fatalf("workers=%d diverges after mid-transmission retune:\nsequential %+v\nsharded    %+v",
+				workers, seq, shd)
 		}
 	}
 }

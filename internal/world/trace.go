@@ -1,0 +1,97 @@
+package world
+
+import (
+	"fmt"
+
+	"packetradio/internal/dama"
+	"packetradio/internal/obs"
+	"packetradio/internal/radio"
+	"packetradio/internal/sim"
+)
+
+// AttachTracer wires an obs.Tracer into every seam of the world: stack
+// taps record origination/forwarding/arrival, ARP taps the hold-queue
+// wait, KISS taps the serial seam, the MAC hook queue/key-up (with the
+// CSMA deferral count or the DAMA master's name), and the channel tap
+// the on-air arrival at the addressee. Attach after the topology is
+// built and before traffic starts; read Spans/Breakdown between runs.
+// Idempotent — a second call returns the same tracer.
+//
+// Each hook records into the lane of the shard it runs on (one "world"
+// lane on the single-loop engine), so recording needs no locks and the
+// merged span stream is bit-identical at any worker count. A world
+// that never calls AttachTracer installs none of these hooks and pays
+// nothing — the contract TestTracingDisabledAddsNoAllocs gates.
+func (w *World) AttachTracer() *obs.Tracer {
+	if w.tracer != nil {
+		return w.tracer
+	}
+	t := obs.NewTracer()
+	t.Unwrap = dama.Unwrap
+	w.tracer = t
+	laneFor := func(s *sim.Scheduler) *obs.TraceLane {
+		name := "world"
+		if w.group != nil {
+			if sh := w.group.ShardOf(s); sh != nil {
+				name = sh.Name
+			}
+		}
+		return t.Lane(name, s.Now)
+	}
+	for _, ch := range w.channels {
+		ln := laneFor(ch.Scheduler())
+		prev := ch.Tap
+		ch.Tap = func(sender, receiver *radio.Transceiver, payload []byte, outcome radio.TapOutcome, consumed bool) {
+			if prev != nil {
+				prev(sender, receiver, payload, outcome, consumed)
+			}
+			if outcome == radio.TapOK {
+				ln.AirRx(receiver.Name, payload)
+			}
+		}
+	}
+	for name, h := range w.hosts {
+		ln := laneFor(h.Sched())
+		chainStackTap(h.Stack, ln.StackTap(name))
+		for _, ifName := range h.Stack.IfNames() {
+			if addr, _, ok := h.Stack.IfAddr(ifName); ok {
+				t.SetHostAddrs(name, addr)
+			}
+		}
+		for _, p := range h.radios {
+			rf := p.RF
+			prev := p.Driver.Tap
+			kt := ln.KISSTap(name)
+			p.Driver.Tap = func(dir string, rec []byte) {
+				if prev != nil {
+					prev(dir, rec)
+				}
+				kt(dir, rec)
+			}
+			// The mac-wait span's argument names what the frame waited
+			// on, resolved at key-up time: the DAMA master's callsign
+			// (or a mid-election marker) on a polled channel, the
+			// deferral count under CSMA.
+			rf.TraceMAC = func(event string, frame []byte, deferrals uint64) {
+				arg := ""
+				if event == "tx-start" {
+					if ctl, ok := w.dama[rf.Channel()]; ok {
+						if m := ctl.Master(); m != nil {
+							arg = "master=" + m.Name
+						} else {
+							arg = "election"
+						}
+					} else {
+						arg = fmt.Sprintf("deferrals=%d", deferrals)
+					}
+				}
+				ln.MACEvent(rf.Name, event, frame, arg)
+			}
+			p.Driver.Resolver().Trace = ln.ARPTap(name)
+		}
+	}
+	return t
+}
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (w *World) Tracer() *obs.Tracer { return w.tracer }

@@ -1,0 +1,122 @@
+package world
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"packetradio/internal/ip"
+	"packetradio/internal/obs"
+)
+
+// tracedRun builds the E19 world — 100 stations on polled 1200 bps
+// channels — with a tracer attached, and runs the standard 3-minute
+// probe schedule.
+func tracedRun(t *testing.T, workers int) (*obs.Tracer, *Large) {
+	t.Helper()
+	lw := NewLarge(LargeConfig{
+		Seed:         5,
+		Stations:     100,
+		Channels:     4,
+		BitRate:      1200,
+		PingInterval: time.Minute,
+		MAC:          MACDAMA,
+		Workers:      workers,
+	})
+	if workers > 1 {
+		lw.W.Shards().SetWorkers(workers)
+	}
+	tr := lw.W.AttachTracer()
+	lw.W.Run(3 * time.Minute)
+	return tr, lw
+}
+
+// TestTraceBreakdownAccountsRTT is E19's core claim: the per-stage
+// breakdown accounts for every traced ping's full round trip. Spans
+// are the intervals between consecutive crossings, so the stage sum
+// telescopes to the end-to-end latency exactly — checked here per
+// trace, not in aggregate — and the set of completed echo traces
+// reproduces the world's own RTT multiset.
+func TestTraceBreakdownAccountsRTT(t *testing.T) {
+	tr, lw := tracedRun(t, 0)
+	traces := tr.Traces()
+	if len(traces) == 0 {
+		t.Fatal("no traces recorded")
+	}
+	var echoRTTs []time.Duration
+	complete := 0
+	for _, trc := range traces {
+		if !trc.Complete() {
+			continue
+		}
+		complete++
+		var sum time.Duration
+		for _, sp := range trc.Spans() {
+			sum += sp.Duration()
+		}
+		if sum != trc.Elapsed() {
+			t.Fatalf("trace %v: stage sum %v != end-to-end %v", trc.ID, sum, trc.Elapsed())
+		}
+		if trc.ID.Proto == ip.ProtoICMP {
+			echoRTTs = append(echoRTTs, trc.Elapsed())
+		}
+	}
+	if complete == 0 {
+		t.Fatal("no complete traces — the tracer is missing a seam")
+	}
+
+	want := append([]time.Duration(nil), lw.RTTs...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	sort.Slice(echoRTTs, func(i, j int) bool { return echoRTTs[i] < echoRTTs[j] })
+	if len(echoRTTs) != len(want) {
+		t.Fatalf("completed echo traces %d != world replies %d", len(echoRTTs), len(want))
+	}
+	for i := range want {
+		if echoRTTs[i] != want[i] {
+			t.Fatalf("RTT[%d]: trace says %v, world says %v", i, echoRTTs[i], want[i])
+		}
+	}
+
+	// The polled channel's mac-wait spans must name who the frame was
+	// waiting on — the DAMA master — not a CSMA deferral count.
+	bd := tr.Breakdown()
+	if bd.Count(obs.StageMACWait) == 0 {
+		t.Fatal("no mac-wait spans in a polled world")
+	}
+	named := false
+	for _, sp := range tr.Spans() {
+		if sp.Stage == obs.StageMACWait && strings.HasPrefix(sp.Arg, "master=") {
+			named = true
+			break
+		}
+	}
+	if !named {
+		t.Fatal("no mac-wait span names the DAMA master")
+	}
+}
+
+// TestTraceSpansEngineInvariance pins the tentpole's determinism
+// claim: the merged span stream — order, stages, endpoints, arguments
+// — is identical on the single-loop engine and on the sharded engine
+// at any worker count.
+func TestTraceSpansEngineInvariance(t *testing.T) {
+	tr0, _ := tracedRun(t, 0)
+	ref := tr0.Spans()
+	if len(ref) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	for _, workers := range []int{1, 4} {
+		trN, _ := tracedRun(t, workers)
+		got := trN.Spans()
+		if !reflect.DeepEqual(ref, got) {
+			i := 0
+			for i < len(ref) && i < len(got) && ref[i] == got[i] {
+				i++
+			}
+			t.Fatalf("span stream diverges at workers=%d (len %d vs %d, first diff at %d)",
+				workers, len(ref), len(got), i)
+		}
+	}
+}

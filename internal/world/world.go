@@ -56,7 +56,8 @@ type World struct {
 	group    *sim.Group
 	onRunEnd []func()
 
-	reg *obs.Registry // lazily built by Registry(); see obs.go
+	reg    *obs.Registry // lazily built by Registry(); see obs.go
+	tracer *obs.Tracer   // installed by AttachTracer; see trace.go
 }
 
 // New creates an empty world with a deterministic seed.

@@ -88,6 +88,26 @@ func schedulerAllocsPerOp() float64 {
 	})
 }
 
+// tracingEventsPerSimS steps the E14 N-station world (Seed 1,
+// 1-minute pings) with or without the packet tracer attached and
+// reports the timed window's event rate. The tracer's hooks ride
+// existing events — they never schedule their own — so both numbers
+// must be identical; BENCH_simcore.json carries the pair and
+// TestEventGate holds it to exact equality.
+func tracingEventsPerSimS(n int, traced bool) float64 {
+	lw := world.NewLarge(world.LargeConfig{
+		Seed: 1, Stations: n, PingInterval: time.Minute,
+	})
+	if traced {
+		lw.W.AttachTracer()
+	}
+	lw.W.Run(30 * time.Second)
+	before := lw.W.Sched.Fired()
+	const simWindow = 3 * time.Minute
+	lw.W.Run(simWindow)
+	return float64(lw.W.Sched.Fired()-before) / simWindow.Seconds()
+}
+
 // TestWriteSimCoreBench regenerates BENCH_simcore.json and asserts the
 // deterministic half of the burst-mode claim: the coalesced datapath
 // fires at least 5x fewer scheduler events per ping than the per-byte
@@ -197,6 +217,15 @@ func TestWriteSimCoreBench(t *testing.T) {
 		}
 	}
 
+	// Tracing overhead at the widest E14 point: attaching the packet
+	// tracer must not change the event schedule at all.
+	tracedRate := tracingEventsPerSimS(200, true)
+	untracedRate := tracingEventsPerSimS(200, false)
+	if tracedRate != untracedRate {
+		t.Fatalf("tracing changed the event schedule: %.3f traced vs %.3f untraced events/sim-s",
+			tracedRate, untracedRate)
+	}
+
 	report := map[string]any{
 		"description":                              "simulator-core benchmarks: ns values are wall time on the machine that last regenerated this file; events/op values are deterministic",
 		"seattle_ping_ns_per_op_pre_burst":         preBurstSeattlePingNs,
@@ -205,10 +234,14 @@ func TestWriteSimCoreBench(t *testing.T) {
 		"seattle_ping_events_per_op":               burstEvents,
 		"seattle_ping_events_per_op_per_byte_path": perByteEvents,
 		"scheduler_allocs_per_op":                  allocs,
-		"e14_scaling":                              scaling,
-		"e16_mac":                                  mac,
-		"e17_transfer":                             xfer,
-		"e18_parallel":                             par,
+		"tracing_overhead": map[string]float64{
+			"events_per_sim_s_untraced_n200": untracedRate,
+			"events_per_sim_s_traced_n200":   tracedRate,
+		},
+		"e14_scaling":  scaling,
+		"e16_mac":      mac,
+		"e17_transfer": xfer,
+		"e18_parallel": par,
 	}
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -243,6 +276,35 @@ func BenchmarkShardedLarge(b *testing.B) {
 // scheduler hot loop (After + Step) at exactly zero allocations per
 // event, same as a world with no registry at all. The nil-EventHook
 // check in Step is the only cost of the flight-recorder seam.
+// TestTracingDisabledAddsNoAllocs pins the packet tracer's zero-cost
+// contract: a world that never calls AttachTracer installs none of
+// the trace hooks (MAC, ARP, stack, KISS, channel), so the hot loop
+// still runs at exactly zero allocations per event. The nil-hook
+// checks in the radio and ARP fast paths are the seam's only cost.
+func TestTracingDisabledAddsNoAllocs(t *testing.T) {
+	s := world.NewSeattle(world.SeattleConfig{Seed: 1, NumPCs: 1})
+	if s.W.Tracer() != nil {
+		t.Fatal("world built with a tracer already attached")
+	}
+	port := s.Gateway.Radio("pr0")
+	if port.RF.TraceMAC != nil {
+		t.Fatal("MAC trace hook installed without AttachTracer")
+	}
+	if port.Driver.Resolver().Trace != nil {
+		t.Fatal("ARP trace hook installed without AttachTracer")
+	}
+	sched := s.W.Sched
+	sched.After(time.Microsecond, func() {})
+	sched.Step()
+	allocs := testing.AllocsPerRun(1000, func() {
+		sched.After(time.Microsecond, func() {})
+		sched.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("After+Step with tracing disabled allocates %.2f objects/op, want 0", allocs)
+	}
+}
+
 func TestObsDisabledAddsNoAllocs(t *testing.T) {
 	if a := schedulerAllocsPerOp(); a != 0 {
 		t.Fatalf("bare scheduler allocates %.2f objects/op, want 0", a)
